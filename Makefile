@@ -1,0 +1,25 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench bench-quick examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:           ## full paper-profile figure reproduction (~25 min)
+	pytest benchmarks/ --benchmark-only
+
+bench-quick:     ## scaled-down smoke of every figure (~40 s)
+	REPRO_BENCH_PROFILE=quick pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/multideployment.py
+	python examples/debug_cloning.py
+	python examples/montecarlo_suspend_resume.py
+
+clean:
+	rm -rf .pytest_cache benchmarks/results src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

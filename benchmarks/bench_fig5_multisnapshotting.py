@@ -1,0 +1,104 @@
+"""Figure 5 — multisnapshotting (paper §5.3).
+
+N running instances, each with ~15 MB of local modifications, snapshotted
+concurrently. Panels: 5(a) average time to snapshot one instance, 5(b)
+completion time to snapshot all. Compared approaches: ours (CLONE+COMMIT)
+and qcow2-file copy-back to PVFS (prepropagation cannot multisnapshot).
+"""
+
+import pytest
+
+from repro.analysis import Figure, Series, ascii_chart, check_shape, render_figure
+
+from common import active_profile, emit, run_snapshot_point
+
+PROFILE = active_profile()
+
+
+@pytest.mark.parametrize("approach", ["mirror", "qcow2-pvfs"])
+def test_fig5_sweep(benchmark, sweep_cache, approach):
+    def sweep():
+        return {
+            n: run_snapshot_point(PROFILE, approach, n, seed=1)
+            for n in PROFILE.instance_counts
+        }
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    sweep_cache[("fig5", approach)] = result
+    assert all(len(r.per_instance) == n for n, r in result.items())
+
+
+def _series(sweep_cache, metric):
+    out = {}
+    for approach in ("qcow2-pvfs", "mirror"):
+        s = Series(approach)
+        for n, res in sorted(sweep_cache[("fig5", approach)].items()):
+            s.add(n, metric(res))
+        out[approach] = s
+    return out
+
+
+def test_fig5a_avg_snapshot_time(benchmark, sweep_cache):
+    series = benchmark.pedantic(
+        lambda: _series(sweep_cache, lambda r: r.avg_time), rounds=1, iterations=1
+    )
+    fig = Figure("fig5a", "Average time to snapshot one instance", "instances", "seconds")
+    for s in series.values():
+        fig.add_series(s)
+    last_n = PROFILE.instance_counts[-1]
+    checks = [
+        check_shape(
+            "mirror starts much lower (async write pipeline)",
+            series["mirror"].y[0] < 0.5 * series["qcow2-pvfs"].y[0],
+        ),
+        check_shape(
+            "mirror degrades with write pressure (grows with N)",
+            series["mirror"].at(last_n) > 1.2 * series["mirror"].y[0],
+        ),
+        check_shape(
+            "both grow slowly (no blow-up: max < 3x first point)",
+            all(s.last() < 3 * s.y[0] for s in series.values()),
+        ),
+        check_shape(
+            "mirror stays at or below qcow2 level",
+            all(
+                series["mirror"].at(n) <= series["qcow2-pvfs"].at(n) * 1.05
+                for n in PROFILE.instance_counts
+            ),
+        ),
+    ]
+    emit("fig5a", render_figure(fig, fmt="{:10.3f}") + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks))
+    assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)
+
+
+def test_fig5b_completion_time(benchmark, sweep_cache):
+    series = benchmark.pedantic(
+        lambda: _series(sweep_cache, lambda r: r.completion_time), rounds=1, iterations=1
+    )
+    fig = Figure("fig5b", "Completion time to snapshot all instances", "instances", "seconds")
+    for s in series.values():
+        fig.add_series(s)
+    last_n = PROFILE.instance_counts[-1]
+    checks = [
+        check_shape(
+            "completion grows faster than the per-instance average (stragglers)",
+            series["mirror"].at(last_n)
+            > sweep_cacheaverage(sweep_cache, "mirror", last_n),
+        ),
+        check_shape(
+            "same order of magnitude, sub-second scale (paper: 'perform similarly')",
+            all(
+                0.1
+                < series["mirror"].at(n) / series["qcow2-pvfs"].at(n)
+                < 4.0
+                and series["mirror"].at(n) < 3.0
+                for n in PROFILE.instance_counts[1:]
+            ),
+        ),
+    ]
+    emit("fig5b", render_figure(fig, fmt="{:10.3f}") + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks))
+    assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)
+
+
+def sweep_cacheaverage(sweep_cache, approach, n):
+    return sweep_cache[("fig5", approach)][n].avg_time

@@ -1,0 +1,9 @@
+"""Benchmark fixtures: per-session caches so one sweep feeds several panels."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def sweep_cache():
+    """Shared store for sweep results reused across figure panels."""
+    return {}

@@ -1,0 +1,9 @@
+"""Shim so `pip install -e .` works without the `wheel` package installed.
+
+All real metadata lives in pyproject.toml; this file only enables the legacy
+`setup.py develop` editable-install path on minimal environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Result series, speedups, and paper-style reports."""
+
+from .plot import ascii_chart
+from .report import check_shape, render_bars, render_figure
+from .series import Figure, Series, collect, speedup
+
+__all__ = [
+    "Figure",
+    "Series",
+    "ascii_chart",
+    "check_shape",
+    "collect",
+    "render_bars",
+    "render_figure",
+    "speedup",
+]

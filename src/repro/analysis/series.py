@@ -1,0 +1,69 @@
+"""Result series and derived metrics for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class Series:
+    """A named y-over-x curve, e.g. boot time versus instance count."""
+
+    name: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def at(self, x: float) -> float:
+        """The y value at an exact x (raises if the point was not measured)."""
+        try:
+            return self.y[self.x.index(float(x))]
+        except ValueError:
+            raise KeyError(f"{self.name}: no point at x={x}") from None
+
+    def last(self) -> float:
+        return self.y[-1]
+
+    def is_monotonic_nondecreasing(self, tolerance: float = 0.0) -> bool:
+        return all(b >= a - tolerance for a, b in zip(self.y, self.y[1:]))
+
+    def max(self) -> float:
+        return max(self.y)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+def speedup(baseline: Series, ours: Series, name: str | None = None) -> Series:
+    """Pointwise ``baseline / ours`` over the common x values (Fig. 4c)."""
+    common = [x for x in baseline.x if x in ours.x]
+    out = Series(name or f"speedup vs {baseline.name}")
+    for x in common:
+        out.add(x, baseline.at(x) / ours.at(x))
+    return out
+
+
+def collect(results: Sequence, x_attr: str, y_attr: str, name: str) -> Series:
+    """Build a series by pulling two attributes off a result list."""
+    out = Series(name)
+    for r in results:
+        out.add(getattr(r, x_attr), getattr(r, y_attr))
+    return out
+
+
+@dataclass
+class Figure:
+    """One reproduced paper figure: a set of series plus metadata."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, Series] = field(default_factory=dict)
+
+    def add_series(self, s: Series) -> None:
+        self.series[s.name] = s

@@ -1,0 +1,294 @@
+"""The BLOB client: the access library linked into every compute node.
+
+A :class:`BlobClient` is bound to one host and talks to the deployment's
+services over the simulated fabric. It implements the full BLOB API the
+mirroring module needs:
+
+* ``create`` / ``upload`` — register a blob and stripe content onto the
+  data providers (write path: allocate -> parallel chunk PUTs -> metadata
+  node scatter -> publish);
+* ``read`` / ``fetch_chunks`` — versioned reads: metadata segment-tree
+  traversal (batched per shard, client-side cache of the immutable nodes),
+  then parallel chunk GETs grouped per data provider;
+* ``write_chunks`` — the COMMIT data path: produces a *new snapshot* of the
+  blob sharing all untouched chunks and metadata with its predecessor;
+* ``clone`` — the CLONE primitive: a new blob sharing everything.
+
+Replica failover: a chunk GET that hits a dead provider retries the other
+replicas recorded in the chunk's :class:`~repro.blobseer.metadata.ChunkRef`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..common.errors import ProviderUnavailableError, StorageError
+from ..common.payload import Payload
+from ..simkit import rpc
+from ..simkit.host import Host
+from .metadata import ChunkRef, NodeId, TreeNode, capacity_for, write_chunks
+from .vmanager import SnapshotRecord
+
+#: marker for "latest published version"
+LATEST = None
+
+
+class BlobClient:
+    """Per-host access library for one BlobSeer deployment."""
+
+    def __init__(self, host: Host, deployment: "BlobSeerDeployment"):
+        self.host = host
+        self.deployment = deployment
+        self._node_cache: Dict[NodeId, TreeNode] = {}
+        self._snap_cache: Dict[Tuple[int, int], SnapshotRecord] = {}
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _parallel(self, gens: Sequence) -> List:
+        procs = [self.host.env.process(g) for g in gens]
+        results = yield self.host.env.all_of(procs)
+        return results
+
+    def _lookup_snapshot(self, blob_id: int, version: Optional[int]):
+        if version is not None:
+            cached = self._snap_cache.get((blob_id, version))
+            if cached is not None:
+                return cached
+        rec: SnapshotRecord = yield from rpc.call(
+            self.host, self.deployment.vmanager_host, "blob-vmgr", "lookup", blob_id, version
+        )
+        self._snap_cache[(blob_id, rec.version)] = rec
+        return rec
+
+    def _get_nodes(self, ids: Sequence[NodeId]):
+        """Fetch tree nodes into the client cache, batched per metadata shard."""
+        missing = [nid for nid in ids if nid not in self._node_cache]
+        if missing:
+            by_shard: Dict[Host, List[NodeId]] = {}
+            for nid in missing:
+                by_shard.setdefault(self.deployment.shard_host(nid), []).append(nid)
+            fetches = [
+                rpc.call(self.host, shard, "blob-meta", "get_nodes", shard_ids)
+                for shard, shard_ids in by_shard.items()
+            ]
+            batches = yield from self._parallel(fetches)
+            for batch in batches:
+                self._node_cache.update(batch)
+        return {nid: self._node_cache[nid] for nid in ids}
+
+    def _refs_for_range(self, root: Optional[NodeId], c_lo: int, c_hi: int):
+        """Traverse the segment tree level by level, fetching nodes in batches."""
+        refs: Dict[int, ChunkRef] = {}
+        frontier: List[NodeId] = [root] if root is not None else []
+        while frontier:
+            nodes = yield from self._get_nodes(frontier)
+            next_frontier: List[NodeId] = []
+            for nid in frontier:
+                node = nodes[nid]
+                if node.hi <= c_lo or node.lo >= c_hi:
+                    continue
+                if node.is_leaf:
+                    if node.ref is not None:
+                        refs[node.lo] = node.ref
+                    continue
+                for child in (node.left, node.right):
+                    if child is not None:
+                        next_frontier.append(child)
+            frontier = next_frontier
+        return refs
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def create(self, size: int, chunk_size: int):
+        """Register a new empty blob; returns its id."""
+        blob_id = yield from rpc.call(
+            self.host, self.deployment.vmanager_host, "blob-vmgr", "create_blob", size, chunk_size
+        )
+        return blob_id
+
+    def upload(self, blob_id: int, payload: Payload, replication: int = 1):
+        """Stripe full content onto the providers; returns the snapshot record."""
+        snap = yield from self._lookup_snapshot(blob_id, LATEST)
+        n_chunks = -(-snap.size // snap.chunk_size)
+        updates = {}
+        for idx in range(n_chunks):
+            lo = idx * snap.chunk_size
+            hi = min(lo + snap.chunk_size, snap.size)
+            updates[idx] = payload.slice(lo, hi)
+        rec = yield from self.write_chunks(blob_id, updates, replication=replication)
+        return rec
+
+    def read(self, blob_id: int, version: Optional[int], offset: int, nbytes: int):
+        """Versioned range read; holes read as zeros."""
+        snap = yield from self._lookup_snapshot(blob_id, version)
+        if offset < 0 or offset + nbytes > snap.size:
+            raise StorageError(f"read beyond blob size {snap.size}")
+        if nbytes == 0:
+            return Payload()
+        cs = snap.chunk_size
+        c_lo, c_hi = offset // cs, -(-(offset + nbytes) // cs)
+        chunks = yield from self.fetch_chunk_range(blob_id, version, c_lo, c_hi)
+        parts: List[Payload] = []
+        for idx in range(c_lo, c_hi):
+            size = min(cs, snap.size - idx * cs)
+            parts.append(chunks.get(idx, Payload.zeros(size)))
+        whole = Payload.concat(parts)
+        base = c_lo * cs
+        return whole.slice(offset - base, offset + nbytes - base)
+
+    def fetch_chunk_range(self, blob_id: int, version: Optional[int], c_lo: int, c_hi: int):
+        """Fetch whole chunks ``[c_lo, c_hi)``; returns {index: payload} (holes absent)."""
+        snap = yield from self._lookup_snapshot(blob_id, version)
+        refs = yield from self._refs_for_range(snap.root, c_lo, c_hi)
+        result = yield from self.fetch_refs(refs)
+        return result
+
+    def fetch_refs(self, refs: Dict[int, ChunkRef]):
+        """Fetch the chunks described by ``refs``, grouped per provider, in parallel."""
+        by_provider: Dict[str, List[int]] = {}
+        for idx, ref in refs.items():
+            by_provider.setdefault(ref.providers[0], []).append(idx)
+
+        def fetch_group(provider_name: str, indices: List[int], replica: int = 0):
+            indices = sorted(indices)
+            keys = [refs[i].key for i in indices]
+            provider = self.deployment.fabric.hosts[provider_name]
+            try:
+                combined = yield from rpc.call(
+                    self.host, provider, "blob-data", "get_chunks", keys
+                )
+            except ProviderUnavailableError:
+                # Fail over chunk by chunk to the next replica.
+                out: Dict[int, Payload] = {}
+                for idx in indices:
+                    ref = refs[idx]
+                    if replica + 1 >= len(ref.providers):
+                        raise
+                    alt = self.deployment.fabric.hosts[ref.providers[replica + 1]]
+                    payload = yield from rpc.call(
+                        self.host, alt, "blob-data", "get_chunks", [ref.key]
+                    )
+                    out[idx] = payload
+                return out
+            out = {}
+            cursor = 0
+            for idx in indices:
+                size = refs[idx].size
+                out[idx] = combined.slice(cursor, cursor + size)
+                cursor += size
+            return out
+
+        groups = yield from self._parallel(
+            [fetch_group(p, idxs) for p, idxs in sorted(by_provider.items())]
+        )
+        merged: Dict[int, Payload] = {}
+        for group in groups:
+            merged.update(group)
+        return merged
+
+    def write_chunks(
+        self,
+        blob_id: int,
+        updates: Dict[int, Payload],
+        base_version: Optional[int] = None,
+        replication: int = 1,
+    ):
+        """COMMIT data path: write whole chunks, publish a new snapshot.
+
+        ``updates`` maps chunk index -> full chunk payload. The new snapshot
+        equals ``base_version`` (default: latest) with those chunks replaced;
+        everything else is shared by shadowing.
+
+        When the deployment runs with deduplication, chunks whose content is
+        already stored (by any blob) are referenced instead of re-pushed:
+        the client fingerprints them (CPU cost) and queries the version
+        manager's content index before allocating providers.
+        """
+        dep = self.deployment
+        snap = yield from self._lookup_snapshot(blob_id, base_version)
+        for idx, payload in updates.items():
+            expected = min(snap.chunk_size, snap.size - idx * snap.chunk_size)
+            if payload.size != expected:
+                raise StorageError(
+                    f"chunk {idx}: payload {payload.size} B, expected {expected} B"
+                )
+
+        # 0. deduplication: reference already-stored content instead of pushing
+        dedup_refs: Dict[int, ChunkRef] = {}
+        if dep.dedup_index is not None and updates:
+            total = sum(p.size for p in updates.values())
+            yield self.host.env.timeout(total / dep.model.fingerprint_bandwidth)
+            dedup_refs = yield from rpc.call(
+                self.host, dep.vmanager_host, "blob-vmgr", "dedup_query",
+                dict(updates), dep.dedup_index,
+                request_bytes=40 * len(updates),
+            )
+            self.host.fabric.metrics.count("dedup-reused", len(dedup_refs))
+            updates = {idx: p for idx, p in updates.items() if idx not in dedup_refs}
+
+        # 1. placement
+        indices = sorted(updates)
+        placements = yield from rpc.call(
+            self.host, dep.pmanager_host, "blob-pmgr", "allocate",
+            len(indices), snap.chunk_size, replication,
+        )
+
+        # 2. parallel chunk PUTs (to every replica), grouped per provider
+        new_refs: Dict[int, ChunkRef] = {}
+        by_provider: Dict[str, List[Tuple[int, Payload]]] = {}
+        for idx, providers in zip(indices, placements):
+            key = dep.minter.mint_one()
+            new_refs[idx] = ChunkRef(key, tuple(providers), updates[idx].size)
+            for name in providers:
+                by_provider.setdefault(name, []).append((key, updates[idx]))
+
+        def put_group(provider_name: str, items: List[Tuple[int, Payload]]):
+            provider = dep.fabric.hosts[provider_name]
+            total = sum(p.size for _, p in items)
+            yield from rpc.call(
+                self.host, provider, "blob-data", "put_chunks", items,
+                request_bytes=total + 64 * len(items),
+            )
+
+        yield from self._parallel(
+            [put_group(p, items) for p, items in sorted(by_provider.items())]
+        )
+
+        # register freshly pushed content, then fold in deduplicated refs
+        if dep.dedup_index is not None:
+            for idx, payload in updates.items():
+                dep.dedup_index.setdefault(payload, new_refs[idx])
+        new_refs.update(dedup_refs)
+
+        # 3. metadata: build the shadowed tree, scatter new nodes to shards
+        n_chunks = -(-snap.size // snap.chunk_size)
+        before = len(dep.metadata)
+        new_root = write_chunks(dep.metadata, snap.root, new_refs, n_chunks)
+        new_node_ids = range(before, len(dep.metadata))
+        by_shard: Dict[Host, Dict[NodeId, TreeNode]] = {}
+        for nid in new_node_ids:
+            by_shard.setdefault(dep.shard_host(nid), {})[nid] = dep.metadata.get(nid)
+        if by_shard:
+            yield from self._parallel(
+                [
+                    rpc.call(self.host, shard, "blob-meta", "put_nodes", nodes)
+                    for shard, nodes in by_shard.items()
+                ]
+            )
+
+        # 4. publish: the version manager orders the snapshot
+        rec: SnapshotRecord = yield from rpc.call(
+            self.host, dep.vmanager_host, "blob-vmgr", "publish", blob_id, new_root
+        )
+        self._snap_cache[(blob_id, rec.version)] = rec
+        return rec
+
+    def clone(self, blob_id: int, version: Optional[int] = None):
+        """CLONE primitive: returns the first snapshot record of the new blob."""
+        rec: SnapshotRecord = yield from rpc.call(
+            self.host, self.deployment.vmanager_host, "blob-vmgr", "clone", blob_id, version
+        )
+        self._snap_cache[(rec.blob_id, rec.version)] = rec
+        return rec

@@ -1,0 +1,222 @@
+"""BlobSeer's simulated services: data providers, metadata providers, the
+version manager.
+
+Each service wraps pure state (chunk stores, metadata shards, the blob
+registry) with the simulated costs that shape the paper's results:
+
+* **Data provider** — serves chunk GETs (disk read on RAM-cache miss, free on
+  hit: repeated multideployment reads of a hot image are memory-served, as on
+  the real testbed) and chunk PUTs with BlobSeer's *asynchronous write
+  pipeline*: the ack returns once the data sits in the provider's RAM buffer;
+  a background flusher commits it to disk. Buffer exhaustion throttles acks —
+  this is exactly the "write pressure that eventually has to be committed to
+  disk" degradation of Fig. 5(a).
+* **Metadata provider** — one shard of the distributed segment-tree node
+  space (nodes are assigned to shards by id hash). Nodes are immutable, so
+  clients may cache them; fetch cost is charged per node batch.
+* **Version manager** — the serialization point: FIFO publish queue over the
+  :class:`~repro.blobseer.vmanager.BlobRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..calibration import ServiceModel
+from ..common.errors import ChunkNotFoundError
+from ..common.payload import Payload
+from ..common.units import MiB
+from ..simkit.host import Host
+from ..simkit.resources import Container, Resource
+from .metadata import MetadataStore, NodeId, TreeNode
+from .store import ChunkStore
+from .vmanager import BlobRegistry, SnapshotRecord
+
+#: wire size of one serialized tree node (range + child ids + chunk ref)
+NODE_WIRE_BYTES = 72
+
+
+class DataProviderService:
+    """One compute node's slice of the aggregated storage pool (§3.1.1)."""
+
+    def __init__(
+        self,
+        host: Host,
+        model: ServiceModel,
+        write_buffer_bytes: int = 64 * MiB,
+        async_ack: bool = True,
+        cache_chunks: bool = False,
+    ):
+        self.host = host
+        self.model = model
+        self.async_ack = async_ack
+        #: whether served chunks stay RAM-resident (kernel page cache). The
+        #: conservative default is off: commodity providers persist chunks on
+        #: disk and a GET pays a random read — the same assumption the PVFS
+        #: baseline gets, so the comparison stays apples-to-apples.
+        self.cache_chunks = cache_chunks
+        self.store = ChunkStore()
+        #: chunk keys currently resident in RAM (page cache / write buffer)
+        self.ram: set[int] = set()
+        self._buffer = Container(host.env, capacity=float(write_buffer_bytes))
+        self._buffer.level = float(write_buffer_bytes)  # full budget available
+        self._pending_flush = 0
+
+    # ------------------------------------------------------------------ #
+    def rpc_get_chunks(self, caller: Host, keys: Sequence):
+        """Serve chunks (or sub-chunk ranges); streamed back as one flow.
+
+        Each request item is either a chunk key (whole chunk) or a
+        ``(key, lo, hi)`` triple for a byte range within the chunk — the
+        latter supports the no-prefetch ablation of the paper's first
+        mirroring strategy.
+        """
+        env = self.host.env
+        parts: List[Payload] = []
+        for item in keys:
+            key, lo, hi = item if isinstance(item, tuple) else (item, None, None)
+            yield env.timeout(self.model.chunk_request_overhead)
+            payload = self.store.get(key)
+            if key not in self.ram:
+                nbytes = payload.size if lo is None else hi - lo
+                # random read: the chunk sits somewhere on the provider disk
+                yield from self.host.disk.read(nbytes, sequential=False)
+                if self.cache_chunks:
+                    self.ram.add(key)
+            parts.append(payload if lo is None else payload.slice(lo, hi))
+        self.host.fabric.metrics.count("chunk-get", len(keys))
+        return Payload.concat(parts)
+
+    def rpc_put_chunks(self, caller: Host, items: Sequence[Tuple[int, Payload]]):
+        """Store chunks; ack semantics depend on the async-write pipeline."""
+        env = self.host.env
+        total = sum(p.size for _, p in items)
+        for key, payload in items:
+            yield env.timeout(self.model.chunk_request_overhead)
+            self.store.put(key, payload)
+            if self.cache_chunks:
+                self.ram.add(key)
+        self.host.fabric.metrics.count("chunk-put", len(items))
+        if self.async_ack:
+            # Reserve RAM buffer (throttles when the flusher lags), ack,
+            # commit to disk in the background.
+            yield self._buffer.get(float(total))
+            self._pending_flush += total
+            self.host.spawn(self._flush(items), name="provider-flush")
+        else:
+            for _key, payload in items:
+                yield from self.host.disk.write(payload.size, sequential=False)
+        return None
+
+    def _flush(self, items: Sequence[Tuple[int, Payload]]):
+        # chunks land wherever the provider's store has room: one random
+        # write per chunk
+        total = 0
+        for _key, payload in items:
+            yield from self.host.disk.write(payload.size, sequential=False)
+            total += payload.size
+        self._pending_flush -= total
+        yield self._buffer.put(float(total))
+
+    # ------------------------------------------------------------------ #
+    def drain(self):
+        """Wait until all buffered writes hit the disk (durability barrier)."""
+        env = self.host.env
+        while self._pending_flush > 0:
+            yield env.timeout(0.01)
+
+    @property
+    def stored_bytes(self) -> int:
+        return self.store.total_bytes()
+
+
+class MetadataProviderService:
+    """One shard of the distributed metadata (segment-tree nodes)."""
+
+    def __init__(self, host: Host, model: ServiceModel):
+        self.host = host
+        self.model = model
+        self.nodes: Dict[NodeId, TreeNode] = {}
+
+    def rpc_get_nodes(self, caller: Host, ids: Sequence[NodeId]):
+        env = self.host.env
+        yield env.timeout(self.model.metadata_node_overhead * len(ids))
+        out: Dict[NodeId, TreeNode] = {}
+        for nid in ids:
+            node = self.nodes.get(nid)
+            if node is None:
+                raise ChunkNotFoundError(f"metadata shard {self.host.name}: node {nid}")
+            out[nid] = node
+        self.host.fabric.metrics.count("meta-get", len(ids))
+        # Wire-size the batch so big metadata fetches cost transfer time.
+        from ..simkit.rpc import Sized
+
+        return Sized(out, NODE_WIRE_BYTES * len(ids))
+
+    def rpc_put_nodes(self, caller: Host, nodes: Dict[NodeId, TreeNode]):
+        env = self.host.env
+        yield env.timeout(self.model.metadata_node_overhead * len(nodes))
+        self.nodes.update(nodes)
+        self.host.fabric.metrics.count("meta-put", len(nodes))
+        return None
+
+
+class VersionManagerService:
+    """Snapshot ordering and the publish protocol (one instance per deployment)."""
+
+    def __init__(self, host: Host, registry: BlobRegistry, model: ServiceModel):
+        self.host = host
+        self.registry = registry
+        self.model = model
+        self._serializer = Resource(host.env, capacity=1)
+
+    def _serialized(self, work_seconds: float):
+        req = self._serializer.request()
+        yield req
+        try:
+            yield self.host.env.timeout(work_seconds)
+        finally:
+            self._serializer.release()
+
+    def rpc_create_blob(self, caller: Host, size: int, chunk_size: int):
+        yield from self._serialized(self.model.publish_overhead)
+        return self.registry.create_blob(size, chunk_size)
+
+    def rpc_publish(self, caller: Host, blob_id: int, root: Optional[NodeId]):
+        yield from self._serialized(self.model.publish_overhead)
+        return self.registry.publish(blob_id, root)
+
+    def rpc_clone(self, caller: Host, blob_id: int, version: Optional[int]):
+        yield from self._serialized(self.model.publish_overhead)
+        return self.registry.clone(blob_id, version)
+
+    def rpc_lookup(self, caller: Host, blob_id: int, version: Optional[int]):
+        yield self.host.env.timeout(self.model.publish_overhead / 4)
+        return self.registry.lookup(blob_id, version)
+
+    def rpc_delete_version(self, caller: Host, blob_id: int, version: int):
+        yield from self._serialized(self.model.publish_overhead)
+        self.registry.delete_version(blob_id, version)
+        return None
+
+    def rpc_delete_blob(self, caller: Host, blob_id: int):
+        yield from self._serialized(self.model.publish_overhead)
+        self.registry.delete_blob(blob_id)
+        return None
+
+    def rpc_dedup_query(self, caller: Host, chunks, index):
+        """Look up content fingerprints in the dedup index.
+
+        ``chunks`` maps chunk index -> payload (standing in for its digest);
+        ``index`` is the deployment's content-addressed index. Returns the
+        subset with an existing :class:`ChunkRef`.
+        """
+        yield self.host.env.timeout(self.model.metadata_node_overhead * len(chunks))
+        hits = {}
+        for idx, payload in chunks.items():
+            ref = index.get(payload)
+            if ref is not None:
+                hits[idx] = ref
+        self.host.fabric.metrics.count("dedup-query", len(chunks))
+        self.host.fabric.metrics.count("dedup-hit", len(hits))
+        return hits

@@ -1,0 +1,149 @@
+"""Deploying a BlobSeer instance onto a simulated cluster.
+
+A :class:`BlobSeerDeployment` wires the pieces together:
+
+* a :class:`~repro.blobseer.provider.DataProviderService` on every compute
+  node, aggregating part of its local disk into the shared pool (§3.1.1);
+* :class:`~repro.blobseer.provider.MetadataProviderService` shards holding
+  the distributed segment-tree nodes (assigned by node-id modulo);
+* one :class:`~repro.blobseer.provider.VersionManagerService` and one
+  :class:`~repro.blobseer.pmanager.ProviderManagerService` on manager nodes.
+
+``seed_blob`` injects an already-uploaded image at time zero (the paper's
+experiments start from an image previously stored in the repository; the
+upload itself is not part of any measured figure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..calibration import ServiceModel
+from ..common.errors import StorageError
+from ..common.payload import Payload
+from ..simkit import rpc
+from ..simkit.host import Fabric, Host
+from .client import BlobClient
+from .metadata import ChunkRef, MetadataStore, build_tree
+from .pmanager import PlacementPolicy, ProviderManagerService
+from .provider import DataProviderService, MetadataProviderService, VersionManagerService
+from .store import KeyMinter
+from .vmanager import BlobRegistry, SnapshotRecord
+
+
+class BlobSeerDeployment:
+    """A running BlobSeer instance on a set of hosts."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        data_hosts: Sequence[Host],
+        meta_hosts: Sequence[Host],
+        vmanager_host: Host,
+        pmanager_host: Optional[Host] = None,
+        model: Optional[ServiceModel] = None,
+        placement: str = "round-robin",
+        async_ack: bool = True,
+        write_buffer_bytes: int = 64 * 2**20,
+        cache_chunks: bool = False,
+        dedup: bool = False,
+    ):
+        if not data_hosts or not meta_hosts:
+            raise StorageError("need at least one data and one metadata host")
+        self.fabric = fabric
+        self.model = model if model is not None else ServiceModel()
+        self.metadata = MetadataStore()
+        self.registry = BlobRegistry(self.metadata)
+        self.minter = KeyMinter()
+        #: content-addressed chunk index (None = dedup disabled). Keys are
+        #: payloads (content-equality stands in for a collision-free digest).
+        self.dedup_index: Optional[Dict[Payload, ChunkRef]] = {} if dedup else None
+        self.vmanager_host = vmanager_host
+        self.pmanager_host = pmanager_host if pmanager_host is not None else vmanager_host
+
+        self.data_services: Dict[str, DataProviderService] = {}
+        for host in data_hosts:
+            svc = DataProviderService(
+                host,
+                self.model,
+                write_buffer_bytes=write_buffer_bytes,
+                async_ack=async_ack,
+                cache_chunks=cache_chunks,
+            )
+            rpc.bind(host, "blob-data", svc)
+            self.data_services[host.name] = svc
+
+        self.meta_hosts: List[Host] = list(meta_hosts)
+        self.meta_services: Dict[str, MetadataProviderService] = {}
+        for host in self.meta_hosts:
+            svc = MetadataProviderService(host, self.model)
+            rpc.bind(host, "blob-meta", svc)
+            self.meta_services[host.name] = svc
+
+        self.vmanager = VersionManagerService(vmanager_host, self.registry, self.model)
+        rpc.bind(vmanager_host, "blob-vmgr", self.vmanager)
+
+        self.policy = PlacementPolicy(
+            [h.name for h in data_hosts],
+            strategy=placement,
+            rng=fabric.rng.get("blobseer-placement"),
+        )
+        self.pmanager = ProviderManagerService(self.pmanager_host, self.policy, self.model)
+        rpc.bind(self.pmanager_host, "blob-pmgr", self.pmanager)
+
+    # ------------------------------------------------------------------ #
+    def shard_host(self, node_id: int) -> Host:
+        """Home metadata shard of a tree node (id-modulo placement)."""
+        return self.meta_hosts[node_id % len(self.meta_hosts)]
+
+    def client(self, host: Host) -> BlobClient:
+        return BlobClient(host, self)
+
+    def provider(self, name: str) -> DataProviderService:
+        return self.data_services[name]
+
+    # ------------------------------------------------------------------ #
+    def seed_blob(
+        self, payload: Payload, chunk_size: int, replication: int = 1
+    ) -> SnapshotRecord:
+        """Inject a fully-uploaded blob at time zero (experiment setup).
+
+        Content lands in the providers' chunk stores *cold* (not RAM-cached),
+        the metadata tree is built and scattered to its shards, and the first
+        snapshot is published — exactly the state an out-of-band upload would
+        leave behind, with no simulated time elapsed.
+        """
+        size = payload.size
+        blob_id = self.registry.create_blob(size, chunk_size)
+        n_chunks = -(-size // chunk_size)
+        placements = self.policy.allocate(n_chunks, chunk_size, replication)
+        refs: Dict[int, ChunkRef] = {}
+        for idx, providers in enumerate(placements):
+            lo = idx * chunk_size
+            hi = min(lo + chunk_size, size)
+            chunk = payload.slice(lo, hi)
+            key = self.minter.mint_one()
+            refs[idx] = ChunkRef(key, tuple(providers), chunk.size)
+            for name in providers:
+                self.data_services[name].store.put(key, chunk)
+            if self.dedup_index is not None:
+                self.dedup_index.setdefault(chunk, refs[idx])
+        before = len(self.metadata)
+        root = build_tree(self.metadata, refs, n_chunks)
+        for nid in range(before, len(self.metadata)):
+            shard = self.shard_host(nid)
+            self.meta_services[shard.name].nodes[nid] = self.metadata.get(nid)
+        return self.registry.publish(blob_id, root)
+
+    # ------------------------------------------------------------------ #
+    def stored_bytes(self) -> int:
+        """Physical bytes across all providers (storage-consumption metric)."""
+        return sum(svc.stored_bytes for svc in self.data_services.values())
+
+    def drain_all(self):
+        """Process helper: wait for every provider's write buffer to flush."""
+        procs = [
+            self.fabric.env.process(svc.drain(), name=f"drain-{name}")
+            for name, svc in self.data_services.items()
+        ]
+        yield self.fabric.env.all_of(procs)

@@ -1,0 +1,136 @@
+"""The version manager: blob registry, snapshot ordering, publish protocol.
+
+BlobSeer's version manager is the serialization point of the system: it
+assigns monotonically increasing version numbers to published snapshots of
+each blob and guarantees that a version becomes visible only once its data
+and metadata are durable ("publish" is the linearization event).
+
+:class:`BlobRegistry` is the pure state; :class:`VersionManagerService` (in
+:mod:`repro.blobseer.provider`) wraps it for the simulated fabric.
+
+The registry also implements CLONE at the registry level: a clone is a new
+blob whose first snapshot shares the source snapshot's metadata root
+(Fig. 3(b)); subsequent COMMITs to the clone are ordered within the clone
+only, so clones evolve independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..common.errors import UnknownBlobError, UnknownVersionError
+from .metadata import MetadataStore, NodeId, clone_root
+
+
+@dataclass(frozen=True)
+class SnapshotRecord:
+    """One published snapshot of a blob."""
+
+    blob_id: int
+    version: int
+    root: Optional[NodeId]
+    size: int
+    chunk_size: int
+
+
+class BlobRegistry:
+    """Pure version-manager state: blobs and their totally ordered snapshots.
+
+    Snapshot numbers are monotonically increasing per blob and never reused;
+    individual versions (or whole blobs) can be *deleted*, which unpublishes
+    them — the garbage collector (:mod:`repro.blobseer.gc`) then reclaims
+    whatever chunks and metadata nodes no remaining snapshot references.
+    """
+
+    def __init__(self, metadata: MetadataStore):
+        self.metadata = metadata
+        self._blobs: Dict[int, Dict[int, SnapshotRecord]] = {}
+        self._latest: Dict[int, int] = {}
+        #: next version number per blob — deleted numbers are never reused
+        self._next_version: Dict[int, int] = {}
+        self._next_blob = 1
+
+    # ------------------------------------------------------------------ #
+    def create_blob(self, size: int, chunk_size: int) -> int:
+        """Register a new empty blob; snapshot 0 is the all-holes version."""
+        blob_id = self._next_blob
+        self._next_blob += 1
+        self._blobs[blob_id] = {0: SnapshotRecord(blob_id, 0, None, size, chunk_size)}
+        self._latest[blob_id] = 0
+        self._next_version[blob_id] = 1
+        return blob_id
+
+    def publish(self, blob_id: int, root: Optional[NodeId]) -> SnapshotRecord:
+        """Publish a new snapshot of ``blob_id``; returns the ordered record."""
+        history = self._history(blob_id)
+        last = history[self._latest[blob_id]]
+        version = self._next_version[blob_id]
+        rec = SnapshotRecord(blob_id, version, root, last.size, last.chunk_size)
+        history[version] = rec
+        self._latest[blob_id] = version
+        self._next_version[blob_id] = version + 1
+        return rec
+
+    def clone(self, blob_id: int, version: Optional[int] = None) -> SnapshotRecord:
+        """CLONE: new blob whose snapshot 1 shares the source snapshot's tree."""
+        src = self.lookup(blob_id, version)
+        new_root = clone_root(self.metadata, src.root)
+        new_id = self._next_blob
+        self._next_blob += 1
+        first = SnapshotRecord(new_id, 1, new_root, src.size, src.chunk_size)
+        # version 0 of the clone is, as for any blob, the empty snapshot
+        self._blobs[new_id] = {
+            0: SnapshotRecord(new_id, 0, None, src.size, src.chunk_size),
+            1: first,
+        }
+        self._latest[new_id] = 1
+        self._next_version[new_id] = 2
+        return first
+
+    def delete_version(self, blob_id: int, version: int) -> None:
+        """Unpublish one snapshot (it must not be the blob's only one)."""
+        history = self._history(blob_id)
+        if version not in history:
+            raise UnknownVersionError(f"blob {blob_id} has no version {version}")
+        if len(history) == 1:
+            raise UnknownVersionError(
+                f"blob {blob_id}: cannot delete its only snapshot; delete the blob"
+            )
+        del history[version]
+        if self._latest[blob_id] == version:
+            self._latest[blob_id] = max(history)
+
+    def delete_blob(self, blob_id: int) -> None:
+        """Unregister a blob and all its snapshots."""
+        self._history(blob_id)  # existence check
+        del self._blobs[blob_id]
+        del self._latest[blob_id]
+        del self._next_version[blob_id]
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, blob_id: int, version: Optional[int] = None) -> SnapshotRecord:
+        """Fetch a snapshot record; ``version=None`` means the latest."""
+        history = self._history(blob_id)
+        if version is None:
+            version = self._latest[blob_id]
+        rec = history.get(version)
+        if rec is None:
+            raise UnknownVersionError(f"blob {blob_id} has no version {version}")
+        return rec
+
+    def versions(self, blob_id: int) -> List[int]:
+        return sorted(self._history(blob_id))
+
+    def blob_ids(self) -> List[int]:
+        return sorted(self._blobs)
+
+    def live_records(self) -> List[SnapshotRecord]:
+        """Every published snapshot across all blobs (the GC root set)."""
+        return [rec for history in self._blobs.values() for rec in history.values()]
+
+    def _history(self, blob_id: int) -> Dict[int, SnapshotRecord]:
+        try:
+            return self._blobs[blob_id]
+        except KeyError:
+            raise UnknownBlobError(f"no blob {blob_id}") from None

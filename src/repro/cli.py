@@ -1,0 +1,198 @@
+"""Command-line interface: run the canonical experiments from a shell.
+
+Subcommands::
+
+    python -m repro deploy    --instances 16 --approach mirror
+    python -m repro snapshot  --instances 16 --diff-mib 15
+    python -m repro bonnie
+    python -m repro info
+
+``deploy`` and ``snapshot`` build a fresh simulated cluster, run the chosen
+pattern at the requested scale, and print the paper's metrics; ``bonnie``
+runs the §5.4 micro-benchmark; ``info`` dumps the active calibration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from .calibration import DEFAULT, Calibration, ImageSpec
+from .common.units import GiB, KiB, MiB, fmt_rate, fmt_size, fmt_time
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--instances", type=int, default=16, help="concurrent VMs")
+    parser.add_argument("--pool", type=int, default=0,
+                        help="storage pool size (0 = max(24, instances))")
+    parser.add_argument("--image-mib", type=int, default=1024, help="image size in MiB")
+    parser.add_argument("--touched-mib", type=int, default=64,
+                        help="bytes the boot actually reads, in MiB")
+    parser.add_argument("--chunk-kib", type=int, default=256, help="chunk size in KiB")
+    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
+
+
+def _calibration(args) -> Calibration:
+    return Calibration(
+        image=ImageSpec(
+            size=args.image_mib * MiB,
+            chunk_size=args.chunk_kib * KiB,
+            boot_touched_bytes=args.touched_mib * MiB,
+        )
+    )
+
+
+def _pool(args) -> int:
+    return args.pool if args.pool > 0 else max(24, args.instances)
+
+
+def cmd_deploy(args) -> int:
+    from .cloud import build_cloud, deploy
+    from .vmsim import make_image
+
+    calib = _calibration(args)
+    cloud = build_cloud(_pool(args), seed=args.seed, calib=calib)
+    image = make_image(calib.image.size, calib.image.boot_touched_bytes, n_regions=48)
+    res = deploy(cloud, image, args.instances, args.approach)
+    print(f"approach:        {res.approach}")
+    print(f"instances:       {res.n_instances}")
+    print(f"init phase:      {fmt_time(res.init_time)}")
+    print(f"avg boot:        {fmt_time(res.avg_boot_time)}")
+    print(f"completion:      {fmt_time(res.completion_time)}")
+    print(f"network traffic: {fmt_size(res.total_traffic)}")
+    return 0
+
+
+def cmd_snapshot(args) -> int:
+    from .cloud import build_cloud, deploy, snapshot_all
+    from .vmsim import make_image
+    from .vmsim.workloads import read_your_writes_workload
+
+    calib = _calibration(args)
+    cloud = build_cloud(_pool(args), seed=args.seed, calib=calib)
+    image = make_image(calib.image.size, calib.image.boot_touched_bytes, n_regions=48)
+    res = deploy(cloud, image, args.instances, args.approach)
+
+    def diff(vm, i):
+        ops = read_your_writes_workload(
+            image.write_base, args.diff_mib * MiB,
+            cloud.fabric.rng.get("cli-diff", i), reread_fraction=0.05,
+        )
+        yield from vm.run_ops(ops)
+
+    procs = [cloud.env.process(diff(vm, i)) for i, vm in enumerate(res.vms)]
+    cloud.run(cloud.env.all_of(procs))
+    snap = snapshot_all(cloud, res.vms, args.approach)
+    print(f"approach:          {snap.approach}")
+    print(f"instances:         {snap.n_instances}")
+    print(f"avg snapshot time: {fmt_time(snap.avg_time)}")
+    print(f"completion:        {fmt_time(snap.completion_time)}")
+    print(f"bytes persisted:   {fmt_size(snap.total_bytes_moved)}")
+    return 0
+
+
+def cmd_bonnie(args) -> int:
+    from .blobseer import BlobSeerDeployment
+    from .common.payload import Payload
+    from .simkit.host import Fabric
+    from .vmsim import BonnieBenchmark
+    from .vmsim.backends import LocalRawBackend, MirrorBackend
+
+    size = args.image_mib * MiB
+    working = min(args.working_mib * MiB, size // 2)
+    rows = {}
+    for kind in ("local", "mirror"):
+        fabric = Fabric(seed=args.seed)
+        nodes = [fabric.add_host(f"node{i}") for i in range(8)]
+        manager = fabric.add_host("manager")
+        dep = BlobSeerDeployment(fabric, nodes, nodes, manager)
+        rec = dep.seed_blob(Payload.opaque("img", size), 256 * KiB)
+        fuse = DEFAULT.fuse
+        if kind == "local":
+            f = nodes[0].create_file("/img", size)
+            f.write(0, Payload.opaque("img", size))
+            backend = LocalRawBackend(nodes[0], "/img", fuse)
+            ops = (fuse.local_data_op_overhead, fuse.local_per_op_overhead)
+        else:
+            backend = MirrorBackend(nodes[0], dep, rec.blob_id, rec.version, fuse)
+            ops = (fuse.data_op_overhead, fuse.per_op_overhead)
+        bench = BonnieBenchmark(backend, *ops, working_set=working, base_offset=size // 2)
+        out = {}
+
+        def master(backend=backend, bench=bench, out=out):
+            yield from backend.open()
+            out["r"] = yield from bench.run()
+
+        fabric.run(fabric.env.process(master()))
+        rows[kind] = out["r"]
+
+    print(f"{'metric':<16}{'local':>14}{'our-approach':>14}")
+    for label, attr in [
+        ("BlockW KB/s", "block_write_kbps"),
+        ("BlockR KB/s", "block_read_kbps"),
+        ("BlockO KB/s", "block_overwrite_kbps"),
+        ("RndSeek ops/s", "rnd_seek_ops"),
+        ("CreatF ops/s", "create_ops"),
+        ("DelF ops/s", "delete_ops"),
+    ]:
+        print(f"{label:<16}{getattr(rows['local'], attr):>14.0f}"
+              f"{getattr(rows['mirror'], attr):>14.0f}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    calib = DEFAULT
+    print("calibration (Grid'5000 Nancy, paper §5.1):")
+    for section_field in dataclasses.fields(calib):
+        section = getattr(calib, section_field.name)
+        print(f"  [{section_field.name}]")
+        for f in dataclasses.fields(section):
+            print(f"    {f.name} = {getattr(section, f.name)}")
+    print(f"\nexample: NIC {fmt_rate(calib.testbed.nic_bandwidth)}, "
+          f"disk {fmt_rate(calib.testbed.disk_read_bandwidth)}, "
+          f"image {fmt_size(calib.image.size)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Going Back and Forth' (HPDC 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_deploy = sub.add_parser("deploy", help="run one multideployment")
+    _add_cluster_args(p_deploy)
+    p_deploy.add_argument(
+        "--approach", choices=["mirror", "qcow2-pvfs", "prepropagation"],
+        default="mirror",
+    )
+    p_deploy.set_defaults(func=cmd_deploy)
+
+    p_snap = sub.add_parser("snapshot", help="deploy, dirty, multisnapshot")
+    _add_cluster_args(p_snap)
+    p_snap.add_argument("--approach", choices=["mirror", "qcow2-pvfs"], default="mirror")
+    p_snap.add_argument("--diff-mib", type=int, default=15,
+                        help="local modifications per VM, in MiB")
+    p_snap.set_defaults(func=cmd_snapshot)
+
+    p_bonnie = sub.add_parser("bonnie", help="run the §5.4 micro-benchmark")
+    p_bonnie.add_argument("--image-mib", type=int, default=1024)
+    p_bonnie.add_argument("--working-mib", type=int, default=256)
+    p_bonnie.add_argument("--seed", type=int, default=1)
+    p_bonnie.set_defaults(func=cmd_bonnie)
+
+    p_info = sub.add_parser("info", help="print the active calibration")
+    p_info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

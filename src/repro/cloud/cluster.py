@@ -1,0 +1,115 @@
+"""Cluster construction: the simulated Grid'5000 Nancy site.
+
+:func:`build_cloud` assembles the full experimental infrastructure of §5.1:
+compute nodes (GigE NIC, local disk, KVM), a manager node running the
+BlobSeer version/provider managers, an NFS server (the prepropagation
+source), and — depending on the experiment — BlobSeer and/or PVFS deployed
+across the compute nodes' local disks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..baselines.nfs import NfsServer
+from ..baselines.pvfs import PvfsDeployment
+from ..blobseer.service import BlobSeerDeployment
+from ..calibration import Calibration, DEFAULT
+from ..simkit.host import Fabric, Host
+
+
+@dataclass
+class Cloud:
+    """A built cluster with its storage services."""
+
+    fabric: Fabric
+    compute: List[Host]
+    manager: Host
+    nfs_host: Host
+    nfs: NfsServer
+    blobseer: Optional[BlobSeerDeployment]
+    pvfs: Optional[PvfsDeployment]
+    calib: Calibration = field(default_factory=lambda: DEFAULT)
+
+    @property
+    def env(self):
+        return self.fabric.env
+
+    @property
+    def metrics(self):
+        return self.fabric.metrics
+
+    def run(self, until=None):
+        return self.fabric.run(until)
+
+
+def build_cloud(
+    compute_nodes: int,
+    seed: int = 0,
+    calib: Calibration = DEFAULT,
+    with_blobseer: bool = True,
+    with_pvfs: bool = True,
+    fairness: str = "equal-share",
+    placement: str = "round-robin",
+    dedup: bool = False,
+) -> Cloud:
+    """Build the simulated testbed.
+
+    Both storage services aggregate the *compute nodes'* local disks, as in
+    the paper (§3.1.1: the repository is co-located with the compute nodes,
+    not on dedicated storage hardware).
+    """
+    tb = calib.testbed
+    fabric = Fabric(
+        seed=seed,
+        nic_bandwidth=tb.nic_bandwidth,
+        latency=tb.network_latency,
+        fairness=fairness,
+    )
+    compute = [
+        fabric.add_host(
+            f"node{i:03d}",
+            cores=tb.cores_per_node,
+            disk_read_bw=tb.disk_read_bandwidth,
+            disk_write_bw=tb.disk_write_bandwidth,
+            disk_seek_time=tb.disk_seek_time,
+        )
+        for i in range(compute_nodes)
+    ]
+    manager = fabric.add_host("manager", cores=tb.cores_per_node)
+    nfs_host = fabric.add_host("nfs-server", cores=tb.cores_per_node)
+    nfs = NfsServer(nfs_host, calib.service)
+
+    fabric.connection_setup = calib.service.connection_setup
+
+    blobseer = None
+    if with_blobseer:
+        blobseer = BlobSeerDeployment(
+            fabric,
+            data_hosts=compute,
+            meta_hosts=compute,
+            vmanager_host=manager,
+            model=calib.service,
+            placement=placement,
+            write_buffer_bytes=calib.service.provider_write_buffer,
+            dedup=dedup,
+        )
+    pvfs = None
+    if with_pvfs:
+        pvfs = PvfsDeployment(
+            fabric,
+            io_hosts=compute,
+            stripe_size=calib.image.chunk_size,
+            model=calib.service,
+        )
+    return Cloud(
+        fabric=fabric,
+        compute=compute,
+        manager=manager,
+        nfs_host=nfs_host,
+        nfs=nfs,
+        blobseer=blobseer,
+        pvfs=pvfs,
+        calib=calib,
+    )

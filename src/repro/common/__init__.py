@@ -1,0 +1,49 @@
+"""Shared foundations: units, errors, RNG streams, intervals, payload algebra."""
+
+from .errors import (
+    ChunkNotFoundError,
+    ImageFormatError,
+    InterruptedError_,
+    MiddlewareError,
+    MirrorStateError,
+    OutOfRangeError,
+    ProviderUnavailableError,
+    ReproError,
+    SimulationError,
+    StorageError,
+    UnknownBlobError,
+    UnknownVersionError,
+)
+from .intervals import IntervalSet
+from .payload import EMPTY, Payload, SparseFile
+from .rng import RngStreams
+from .units import GiB, KiB, MiB, GB, KB, MB, fmt_rate, fmt_size, fmt_time
+
+__all__ = [
+    "ChunkNotFoundError",
+    "EMPTY",
+    "GiB",
+    "GB",
+    "ImageFormatError",
+    "InterruptedError_",
+    "IntervalSet",
+    "KiB",
+    "KB",
+    "MiB",
+    "MB",
+    "MiddlewareError",
+    "MirrorStateError",
+    "OutOfRangeError",
+    "Payload",
+    "ProviderUnavailableError",
+    "ReproError",
+    "RngStreams",
+    "SimulationError",
+    "SparseFile",
+    "StorageError",
+    "UnknownBlobError",
+    "UnknownVersionError",
+    "fmt_rate",
+    "fmt_size",
+    "fmt_time",
+]

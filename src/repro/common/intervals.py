@@ -1,0 +1,171 @@
+"""Half-open interval arithmetic over byte offsets.
+
+The mirroring module and the modification manager reason constantly about
+which byte ranges of an image are present locally, dirty, or missing. This
+module provides a small, well-tested algebra of **sorted, coalesced sets of
+half-open intervals** ``[lo, hi)`` used by those components.
+
+:class:`IntervalSet` is immutable-by-discipline: mutating operations return
+``None`` and keep the internal list sorted and disjoint (adjacent intervals
+are merged), so the canonical-form invariant always holds. Property-based
+tests in ``tests/common/test_intervals.py`` verify the algebra against a
+brute-force bitmap model.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, List, Tuple
+
+Interval = Tuple[int, int]
+
+
+def clamp(lo: int, hi: int, bound_lo: int, bound_hi: int) -> Interval:
+    """Intersect ``[lo, hi)`` with ``[bound_lo, bound_hi)`` (may be empty)."""
+    return max(lo, bound_lo), min(hi, bound_hi)
+
+
+class IntervalSet:
+    """A set of byte offsets stored as sorted disjoint half-open intervals."""
+
+    __slots__ = ("_ivs",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()):
+        self._ivs: List[Interval] = []
+        for lo, hi in intervals:
+            self.add(lo, hi)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add(self, lo: int, hi: int) -> None:
+        """Insert ``[lo, hi)``, merging with overlapping/adjacent intervals."""
+        if lo >= hi:
+            return
+        ivs = self._ivs
+        # Find insertion window: all intervals whose end >= lo and start <= hi
+        # are merged with the new one.
+        i = bisect_right(ivs, (lo, lo)) - 1
+        if i >= 0 and ivs[i][1] >= lo:
+            start = i
+        else:
+            start = i + 1
+        j = start
+        n = len(ivs)
+        new_lo, new_hi = lo, hi
+        while j < n and ivs[j][0] <= hi:
+            new_lo = min(new_lo, ivs[j][0])
+            new_hi = max(new_hi, ivs[j][1])
+            j += 1
+        ivs[start:j] = [(new_lo, new_hi)]
+
+    def remove(self, lo: int, hi: int) -> None:
+        """Delete ``[lo, hi)`` from the set (splitting intervals as needed)."""
+        if lo >= hi or not self._ivs:
+            return
+        out: List[Interval] = []
+        for a, b in self._ivs:
+            if b <= lo or a >= hi:
+                out.append((a, b))
+                continue
+            if a < lo:
+                out.append((a, lo))
+            if b > hi:
+                out.append((hi, b))
+        self._ivs = out
+
+    def clear(self) -> None:
+        self._ivs.clear()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def contains(self, lo: int, hi: int) -> bool:
+        """True iff every offset of ``[lo, hi)`` is in the set."""
+        if lo >= hi:
+            return True
+        i = bisect_right(self._ivs, (lo, float("inf"))) - 1
+        return i >= 0 and self._ivs[i][0] <= lo and self._ivs[i][1] >= hi
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """True iff any offset of ``[lo, hi)`` is in the set."""
+        if lo >= hi:
+            return False
+        i = bisect_right(self._ivs, (lo, float("inf"))) - 1
+        if i >= 0 and self._ivs[i][1] > lo:
+            return True
+        i += 1
+        return i < len(self._ivs) and self._ivs[i][0] < hi
+
+    def gaps(self, lo: int, hi: int) -> List[Interval]:
+        """Sub-intervals of ``[lo, hi)`` *not* covered by the set, in order."""
+        out: List[Interval] = []
+        cursor = lo
+        for a, b in self._ivs:
+            if b <= lo:
+                continue
+            if a >= hi:
+                break
+            if a > cursor:
+                out.append((cursor, min(a, hi)))
+            cursor = max(cursor, b)
+            if cursor >= hi:
+                break
+        if cursor < hi:
+            out.append((cursor, hi))
+        return out
+
+    def intersect(self, lo: int, hi: int) -> List[Interval]:
+        """Sub-intervals of ``[lo, hi)`` covered by the set, in order."""
+        out: List[Interval] = []
+        for a, b in self._ivs:
+            c_lo, c_hi = clamp(a, b, lo, hi)
+            if c_lo < c_hi:
+                out.append((c_lo, c_hi))
+            if a >= hi:
+                break
+        return out
+
+    def total(self) -> int:
+        """Total number of covered bytes."""
+        return sum(b - a for a, b in self._ivs)
+
+    def span(self) -> Interval:
+        """Smallest ``[lo, hi)`` containing the whole set (``(0, 0)`` if empty)."""
+        if not self._ivs:
+            return (0, 0)
+        return (self._ivs[0][0], self._ivs[-1][1])
+
+    def is_single_interval(self) -> bool:
+        """True iff the set is empty or one contiguous interval.
+
+        This is the fragmentation invariant the paper's second mirroring
+        strategy maintains *per chunk* (§3.3).
+        """
+        return len(self._ivs) <= 1
+
+    def copy(self) -> "IntervalSet":
+        new = IntervalSet()
+        new._ivs = list(self._ivs)
+        return new
+
+    # ------------------------------------------------------------------ #
+    # dunder plumbing
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._ivs)
+
+    def __len__(self) -> int:
+        return len(self._ivs)
+
+    def __bool__(self) -> bool:
+        return bool(self._ivs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._ivs == other._ivs
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"[{a},{b})" for a, b in self._ivs)
+        return f"IntervalSet({body})"

@@ -1,0 +1,299 @@
+"""Payload algebra: the content model for every byte moved by the system.
+
+The reproduction moves both *real* data (unit and integration tests verify
+end-to-end content equality on megabyte-scale images) and *virtual* data
+(benchmarks deploy 2 GB images to a hundred simulated nodes — materializing
+those would be pointless). A :class:`Payload` is a size-exact, sliceable,
+concatenable description of byte content built from three kinds of atoms:
+
+``BytesAtom``
+    literal bytes (used by tests and by small VM writes),
+``ZeroAtom``
+    a run of zero bytes (sparse-file holes),
+``OpaqueAtom``
+    a window ``[offset, offset+size)`` into an abstract content source
+    identified by a string tag (e.g. ``"debian-sid-image"``). Slicing keeps
+    the window arithmetic exact, so content *identity* remains checkable
+    without content *materialization*.
+
+Two payloads compare equal iff their normalized atom sequences are equal.
+Within one experiment a given opaque tag always denotes the same underlying
+content, so this equality is sound; the test-suite additionally checks the
+real-bytes path against flat reference buffers.
+
+:class:`SparseFile` is a writable sparse byte space assembled from payloads.
+It backs the local-mirror file, the simulated local file systems and the
+chunk stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from .errors import OutOfRangeError
+
+
+# --------------------------------------------------------------------------- #
+# atoms
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BytesAtom:
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def window(self, lo: int, hi: int) -> "BytesAtom":
+        return BytesAtom(self.data[lo:hi])
+
+
+@dataclass(frozen=True)
+class ZeroAtom:
+    nbytes: int
+
+    @property
+    def size(self) -> int:
+        return self.nbytes
+
+    def window(self, lo: int, hi: int) -> "ZeroAtom":
+        return ZeroAtom(hi - lo)
+
+
+@dataclass(frozen=True)
+class OpaqueAtom:
+    tag: str
+    offset: int
+    nbytes: int
+
+    @property
+    def size(self) -> int:
+        return self.nbytes
+
+    def window(self, lo: int, hi: int) -> "OpaqueAtom":
+        return OpaqueAtom(self.tag, self.offset + lo, hi - lo)
+
+
+Atom = Union[BytesAtom, ZeroAtom, OpaqueAtom]
+
+
+def _merge(a: Atom, b: Atom) -> Atom | None:
+    """Coalesce two adjacent atoms into one when they form a contiguous run."""
+    if isinstance(a, ZeroAtom) and isinstance(b, ZeroAtom):
+        return ZeroAtom(a.nbytes + b.nbytes)
+    if isinstance(a, BytesAtom) and isinstance(b, BytesAtom):
+        return BytesAtom(a.data + b.data)
+    if (
+        isinstance(a, OpaqueAtom)
+        and isinstance(b, OpaqueAtom)
+        and a.tag == b.tag
+        and a.offset + a.nbytes == b.offset
+    ):
+        return OpaqueAtom(a.tag, a.offset, a.nbytes + b.nbytes)
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# payload
+# --------------------------------------------------------------------------- #
+class Payload:
+    """An immutable sequence of content atoms with exact size accounting."""
+
+    __slots__ = ("_atoms", "_size")
+
+    def __init__(self, atoms: Iterable[Atom] = ()):
+        normalized: List[Atom] = []
+        for atom in atoms:
+            if atom.size == 0:
+                continue
+            if normalized:
+                merged = _merge(normalized[-1], atom)
+                if merged is not None:
+                    normalized[-1] = merged
+                    continue
+            normalized.append(atom)
+        self._atoms: Tuple[Atom, ...] = tuple(normalized)
+        self._size = sum(a.size for a in self._atoms)
+
+    # ---- constructors ---------------------------------------------------- #
+    @staticmethod
+    def from_bytes(data: bytes) -> "Payload":
+        return Payload([BytesAtom(bytes(data))])
+
+    @staticmethod
+    def zeros(nbytes: int) -> "Payload":
+        return Payload([ZeroAtom(int(nbytes))])
+
+    @staticmethod
+    def opaque(tag: str, nbytes: int, offset: int = 0) -> "Payload":
+        return Payload([OpaqueAtom(tag, int(offset), int(nbytes))])
+
+    @staticmethod
+    def concat(parts: Sequence["Payload"]) -> "Payload":
+        atoms: List[Atom] = []
+        for part in parts:
+            atoms.extend(part._atoms)
+        return Payload(atoms)
+
+    # ---- queries --------------------------------------------------------- #
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        return self._atoms
+
+    def is_materialized(self) -> bool:
+        """True iff the payload contains no opaque atoms (bytes recoverable)."""
+        return all(not isinstance(a, OpaqueAtom) for a in self._atoms)
+
+    def to_bytes(self) -> bytes:
+        """Materialize to real bytes; raises on opaque content."""
+        chunks: List[bytes] = []
+        for atom in self._atoms:
+            if isinstance(atom, BytesAtom):
+                chunks.append(atom.data)
+            elif isinstance(atom, ZeroAtom):
+                chunks.append(b"\x00" * atom.nbytes)
+            else:
+                raise ValueError(
+                    f"cannot materialize opaque content {atom.tag!r}"
+                    f"[{atom.offset}:{atom.offset + atom.nbytes}]"
+                )
+        return b"".join(chunks)
+
+    def slice(self, lo: int, hi: int) -> "Payload":
+        """Return the payload window ``[lo, hi)``; bounds must be in range."""
+        if lo < 0 or hi > self._size or lo > hi:
+            raise OutOfRangeError(f"slice [{lo},{hi}) of payload size {self._size}")
+        out: List[Atom] = []
+        cursor = 0
+        for atom in self._atoms:
+            a_lo, a_hi = cursor, cursor + atom.size
+            w_lo, w_hi = max(lo, a_lo), min(hi, a_hi)
+            if w_lo < w_hi:
+                out.append(atom.window(w_lo - a_lo, w_hi - a_lo))
+            cursor = a_hi
+            if cursor >= hi:
+                break
+        return Payload(out)
+
+    def __getitem__(self, key: slice) -> "Payload":
+        if not isinstance(key, slice) or key.step not in (None, 1):
+            raise TypeError("Payload supports contiguous slicing only")
+        lo = 0 if key.start is None else key.start
+        hi = self._size if key.stop is None else key.stop
+        return self.slice(lo, hi)
+
+    def __add__(self, other: "Payload") -> "Payload":
+        return Payload.concat([self, other])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Payload):
+            return NotImplemented
+        return self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        return hash(self._atoms)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        parts = []
+        for atom in self._atoms[:4]:
+            if isinstance(atom, BytesAtom):
+                parts.append(f"bytes[{atom.size}]")
+            elif isinstance(atom, ZeroAtom):
+                parts.append(f"zero[{atom.size}]")
+            else:
+                parts.append(f"{atom.tag}@{atom.offset}+{atom.nbytes}")
+        if len(self._atoms) > 4:
+            parts.append("...")
+        return f"Payload({', '.join(parts)}, size={self._size})"
+
+
+#: The canonical empty payload.
+EMPTY = Payload()
+
+
+# --------------------------------------------------------------------------- #
+# sparse writable byte space
+# --------------------------------------------------------------------------- #
+class SparseFile:
+    """A fixed-size sparse byte space; unwritten regions read as zeros.
+
+    Segments are kept as a sorted list of ``(lo, hi, payload)`` triples with
+    no overlaps; writes splice, reads stitch payload windows together with
+    zero-fill for holes. Used for local-disk files, chunk stores, and the
+    mirror file.
+    """
+
+    __slots__ = ("size", "_segments")
+
+    def __init__(self, size: int, base: Payload | None = None):
+        self.size = int(size)
+        self._segments: List[Tuple[int, int, Payload]] = []
+        if base is not None:
+            if base.size != size:
+                raise OutOfRangeError("base payload size mismatch")
+            self._segments.append((0, size, base))
+
+    def write(self, offset: int, payload: Payload) -> None:
+        lo, hi = offset, offset + payload.size
+        if lo < 0 or hi > self.size:
+            raise OutOfRangeError(f"write [{lo},{hi}) beyond size {self.size}")
+        if lo == hi:
+            return
+        out: List[Tuple[int, int, Payload]] = []
+        inserted = False
+        for s_lo, s_hi, s_pl in self._segments:
+            if s_hi <= lo or s_lo >= hi:
+                if not inserted and s_lo >= hi:
+                    out.append((lo, hi, payload))
+                    inserted = True
+                out.append((s_lo, s_hi, s_pl))
+                continue
+            # Overlap: keep non-overlapping flanks of the existing segment.
+            if s_lo < lo:
+                out.append((s_lo, lo, s_pl.slice(0, lo - s_lo)))
+            if not inserted:
+                out.append((lo, hi, payload))
+                inserted = True
+            if s_hi > hi:
+                out.append((hi, s_hi, s_pl.slice(hi - s_lo, s_hi - s_lo)))
+        if not inserted:
+            out.append((lo, hi, payload))
+            out.sort(key=lambda t: t[0])
+        self._segments = out
+
+    def read(self, offset: int, nbytes: int) -> Payload:
+        lo, hi = offset, offset + nbytes
+        if lo < 0 or hi > self.size:
+            raise OutOfRangeError(f"read [{lo},{hi}) beyond size {self.size}")
+        parts: List[Payload] = []
+        cursor = lo
+        for s_lo, s_hi, s_pl in self._segments:
+            if s_hi <= lo:
+                continue
+            if s_lo >= hi:
+                break
+            if s_lo > cursor:
+                parts.append(Payload.zeros(s_lo - cursor))
+                cursor = s_lo
+            w_hi = min(s_hi, hi)
+            parts.append(s_pl.slice(cursor - s_lo, w_hi - s_lo))
+            cursor = w_hi
+        if cursor < hi:
+            parts.append(Payload.zeros(hi - cursor))
+        return Payload.concat(parts)
+
+    def written_bytes(self) -> int:
+        """Bytes covered by explicit segments (the file's physical footprint)."""
+        return sum(hi - lo for lo, hi, _ in self._segments)
+
+    def snapshot_payload(self) -> Payload:
+        """The whole file content as one payload (zero-filled holes)."""
+        return self.read(0, self.size)

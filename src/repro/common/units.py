@@ -1,0 +1,58 @@
+"""Unit helpers and conversions used throughout the reproduction.
+
+Conventions (uniform across the whole code base):
+
+* **sizes** are integers in bytes,
+* **times** are floats in seconds,
+* **rates** are floats in bytes per second.
+
+The constants below exist so that calibration values and test fixtures read
+like the paper ("2 GB image", "256 KB chunks", "117.5 MB/s") instead of raw
+integers.
+"""
+
+from __future__ import annotations
+
+#: One kibibyte (2**10 bytes).
+KiB: int = 1024
+#: One mebibyte (2**20 bytes).
+MiB: int = 1024 * KiB
+#: One gibibyte (2**30 bytes).
+GiB: int = 1024 * MiB
+
+#: Decimal variants, used for link rates quoted in MB/s by the paper.
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+
+#: One millisecond / microsecond, in seconds.
+MILLISECONDS: float = 1e-3
+MICROSECONDS: float = 1e-6
+
+
+def fmt_size(nbytes: float) -> str:
+    """Render a byte count in human units, e.g. ``fmt_size(2*GiB) == '2.0 GiB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration, e.g. ``fmt_time(0.0021) == '2.1 ms'``."""
+    if seconds < 0:
+        return "-" + fmt_time(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"
+
+
+def fmt_rate(bytes_per_second: float) -> str:
+    """Render a transfer rate, e.g. ``fmt_rate(117.5 * MB) == '117.5 MB/s'``."""
+    return f"{bytes_per_second / MB:.1f} MB/s"

@@ -1,0 +1,25 @@
+"""The paper's primary contribution: the mirroring virtual file system.
+
+On-demand lazy mirroring of striped VM images (strategy 1: full-chunk
+prefetch; strategy 2: contiguous per-chunk mirror regions) with transparent
+``CLONE``/``COMMIT`` snapshotting on a versioning repository.
+"""
+
+from .api import mount
+from .localmirror import LocalMirrorFile, hypervisor_policy, mmap_policy
+from .modmanager import ModificationManager, ReadPlan, WritePlan
+from .translator import RWTranslator
+from .vfs import MirrorHandle, MirrorVFS
+
+__all__ = [
+    "LocalMirrorFile",
+    "MirrorHandle",
+    "MirrorVFS",
+    "ModificationManager",
+    "RWTranslator",
+    "ReadPlan",
+    "WritePlan",
+    "hypervisor_policy",
+    "mmap_policy",
+    "mount",
+]

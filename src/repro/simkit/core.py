@@ -1,0 +1,322 @@
+"""Discrete-event simulation engine.
+
+A compact, deterministic, generator-based engine in the style of SimPy:
+simulated activities are Python generators that ``yield`` events; the
+:class:`Environment` owns a priority queue of scheduled events and advances
+virtual time event by event.
+
+Design points that matter for this reproduction:
+
+* **Determinism.** Ties in the event queue are broken by a monotonically
+  increasing sequence number, so two runs with the same seed produce the
+  *identical* timeline (asserted by tests). No wall-clock anywhere.
+* **Failure propagation.** An event may *fail* with an exception; waiting
+  processes get the exception thrown into their generator at the yield point,
+  so simulated RPC errors surface exactly like real ones.
+* **Interrupts.** ``process.interrupt(cause)`` models external cancellation
+  (e.g. premature VM termination during the boot phase, §2.3 of the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from ..common.errors import InterruptedError_, SimulationError
+
+#: Type of the generators driving simulated processes.
+ProcessGen = Generator["Event", Any, Any]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Life cycle: *pending* -> *triggered* (scheduled with a value or an error)
+    -> *processed* (callbacks ran). Processes subscribe by yielding the event.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[[Event], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._processed = False
+
+    # ---- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    # ---- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully at the current simulated time."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self.env._schedule(self, 0.0)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception (propagates to waiters)."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() expects an exception instance")
+        self._value = exc
+        self._ok = False
+        self.env._schedule(self, 0.0)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running activity; also an event firing when the generator returns."""
+
+    __slots__ = ("gen", "name", "_waiting_on")
+
+    def __init__(self, env: "Environment", gen: ProcessGen, name: str = ""):
+        super().__init__(env)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at time `now` without payload.
+        boot = Event(env)
+        boot.callbacks.append(self._resume)
+        boot._value = None
+        env._schedule(boot, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptedError_` into the process at its yield point."""
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        kick = Event(self.env)
+        kick._value = InterruptedError_(cause)
+        kick._ok = False
+        kick.callbacks.append(self._resume_interrupt)
+        self.env._schedule(kick, 0.0)
+
+    # ---- internals ----------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        if trigger.ok:
+            self._step(lambda: self.gen.send(trigger._value))
+        else:
+            exc = trigger._value
+            self._step(lambda: self.gen.throw(exc))
+
+    def _resume_interrupt(self, trigger: Event) -> None:
+        if self.triggered:
+            return  # finished before the interrupt was delivered
+        self._step(lambda: self.gen.throw(trigger._value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        self.env._active_process = self
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except InterruptedError_ as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        except Exception as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        finally:
+            self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.processed:
+            # Already-fired event: resume immediately (still via the queue so
+            # ordering stays deterministic).
+            kick = Event(self.env)
+            kick._value = target._value
+            kick._ok = target._ok
+            kick.callbacks.append(self._resume)
+            self.env._schedule(kick, 0.0)
+        else:
+            assert target.callbacks is not None
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events: List[Event] = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_fire(ev)
+            else:
+                assert ev.callbacks is not None
+                ev.callbacks.append(self._on_fire)
+
+    def _on_fire(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when every constituent event has fired; value = list of values.
+
+    Fails fast if any constituent fails.
+    """
+
+    __slots__ = ()
+
+    def _on_fire(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev._value)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self.events):
+            self.succeed([e._value for e in self.events])
+
+
+class AnyOf(Condition):
+    """Fires when the first constituent event fires; value = (event, value)."""
+
+    __slots__ = ()
+
+    def _on_fire(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev._value)
+            return
+        self.succeed((ev, ev._value))
+
+
+class Environment:
+    """Owner of simulated time and the event queue."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: List[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self.event_count = 0  # processed events, for perf introspection
+
+    # ---- factory helpers ------------------------------------------------- #
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # ---- scheduling ------------------------------------------------------- #
+    def _schedule(self, event: Event, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    def step(self) -> None:
+        """Process the next scheduled event (advances ``now``)."""
+        when, _, event = heapq.heappop(self._queue)
+        if when < self.now - 1e-12:
+            raise SimulationError("time went backwards")
+        self.now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        self.event_count += 1
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+
+    def run(self, until: "Event | float | None" = None) -> Any:
+        """Run until an event fires, a time is reached, or the queue drains.
+
+        * ``until`` is an :class:`Event`: run until it is processed and
+          return its value (re-raising its failure).
+        * ``until`` is a number: run until simulated time reaches it.
+        * ``until`` is None: run until no events remain.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        f"deadlock: event queue empty before {stop!r} fired"
+                    )
+                self.step()
+            if not stop.ok:
+                raise stop._value
+            return stop._value
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        horizon = float(until)
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self.now = max(self.now, horizon)
+        return None

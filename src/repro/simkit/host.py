@@ -1,0 +1,126 @@
+"""Hosts and the fabric bundle.
+
+A :class:`Host` is one physical machine of the simulated cluster: a NIC on
+the shared fabric, a local disk, a CPU core pool, and a local file system
+namespace (sparse files holding payloads). A :class:`Fabric` bundles the
+environment, the network, metrics and RNG streams — it is the single object
+threaded through every service constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..common.errors import SimulationError
+from ..common.payload import SparseFile
+from ..common.rng import RngStreams
+from ..common.units import MB, MILLISECONDS
+from .core import Environment, Event
+from .disk import Disk
+from .network import FlowNetwork, Nic
+from .resources import Resource
+from .trace import Metrics
+
+
+class Fabric:
+    """Environment + network + metrics + RNG: the simulation context."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        nic_bandwidth: float = 117.5 * MB,
+        latency: float = 0.1 * MILLISECONDS,
+        fairness: str = "equal-share",
+    ):
+        self.env = Environment()
+        self.metrics = Metrics()
+        self.network = FlowNetwork(
+            self.env, metrics=self.metrics, latency=latency, fairness=fairness
+        )
+        self.rng = RngStreams(seed)
+        self.nic_bandwidth = nic_bandwidth
+        self.hosts: Dict[str, Host] = {}
+
+    def add_host(
+        self,
+        name: str,
+        cores: int = 8,
+        disk_read_bw: float = 55 * MB,
+        disk_write_bw: float = 55 * MB,
+        disk_seek_time: float = 8 * MILLISECONDS,
+        nic_bandwidth: Optional[float] = None,
+    ) -> "Host":
+        if name in self.hosts:
+            raise SimulationError(f"duplicate host {name!r}")
+        bw = nic_bandwidth if nic_bandwidth is not None else self.nic_bandwidth
+        nic = self.network.add_nic(name, bw)
+        disk = Disk(
+            self.env,
+            f"{name}:disk",
+            read_bandwidth=disk_read_bw,
+            write_bandwidth=disk_write_bw,
+            seek_time=disk_seek_time,
+            metrics=self.metrics,
+        )
+        host = Host(self, name, nic, disk, cores)
+        self.hosts[name] = host
+        return host
+
+    def run(self, until=None):
+        return self.env.run(until)
+
+
+class Host:
+    """One machine: NIC, disk, CPU pool, local sparse-file namespace."""
+
+    def __init__(self, fabric: Fabric, name: str, nic: Nic, disk: Disk, cores: int):
+        self.fabric = fabric
+        self.env = fabric.env
+        self.name = name
+        self.nic = nic
+        self.disk = disk
+        self.cpu = Resource(fabric.env, capacity=cores)
+        #: local file system: path -> SparseFile (content only; timing via disk)
+        self.files: Dict[str, SparseFile] = {}
+        #: RPC services bound on this host (service name -> object)
+        self.services: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # local file system (content plane; callers add disk timing explicitly)
+    # ------------------------------------------------------------------ #
+    def create_file(self, path: str, size: int) -> SparseFile:
+        if path in self.files:
+            raise SimulationError(f"{self.name}: file {path!r} already exists")
+        f = SparseFile(size)
+        self.files[path] = f
+        return f
+
+    def open_file(self, path: str) -> SparseFile:
+        try:
+            return self.files[path]
+        except KeyError:
+            raise SimulationError(f"{self.name}: no such file {path!r}") from None
+
+    def unlink(self, path: str) -> None:
+        self.files.pop(path, None)
+
+    def exists(self, path: str) -> bool:
+        return path in self.files
+
+    # ------------------------------------------------------------------ #
+    # computation
+    # ------------------------------------------------------------------ #
+    def compute(self, seconds: float) -> Generator[Event, None, None]:
+        """Occupy one CPU core for ``seconds`` of simulated time."""
+        req = self.cpu.request()
+        yield req
+        try:
+            yield self.env.timeout(seconds)
+        finally:
+            self.cpu.release()
+
+    def spawn(self, gen, name: str = ""):
+        return self.env.process(gen, name=f"{self.name}:{name}")
+
+    def __repr__(self) -> str:
+        return f"Host({self.name})"

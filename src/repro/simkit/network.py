@@ -1,0 +1,276 @@
+"""Flow-level network fabric with per-NIC fair bandwidth sharing.
+
+The paper's testbed is a commodity GigE cluster (117.5 MB/s measured TCP
+throughput, ~0.1 ms latency) behind a non-blocking switch, so the only
+bandwidth constraints that matter are the hosts' NICs. We therefore model the
+network at *flow level*: a bulk transfer is a fluid flow whose instantaneous
+rate is its fair share of its source's uplink and destination's downlink.
+
+Two fairness disciplines are provided:
+
+``"equal-share"`` (default)
+    ``rate(f) = min(cap_up(src)/n_up(src), cap_down(dst)/n_down(dst))``.
+    Incremental, O(flows on the two affected links) per flow arrival or
+    departure — fast enough for hundred-node sweeps. It slightly
+    *under*-estimates throughput versus true max-min fairness because the
+    share a bottlenecked-elsewhere flow leaves on a link is not
+    redistributed.
+
+``"maxmin"``
+    exact max-min fairness via progressive filling, recomputed globally on
+    every flow arrival/departure. O(links x flows) per recompute — used in
+    tests and small topologies to bound the error of the fast mode.
+
+Small control messages (below :attr:`FlowNetwork.message_threshold`) bypass
+the fluid model and pay ``latency + size/capacity + per_message_overhead``;
+their bytes still land in the traffic accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..common.units import MB, MILLISECONDS
+from .core import Environment, Event
+from .trace import Metrics
+
+
+class Nic:
+    """A full-duplex network interface: independent up and down capacities.
+
+    Flow collections are insertion-ordered dicts (used as ordered sets):
+    iteration order must be deterministic across runs, or float accumulation
+    and event tie-breaking would depend on object memory addresses.
+    """
+
+    __slots__ = ("name", "up_capacity", "down_capacity", "up_flows", "down_flows")
+
+    def __init__(self, name: str, up_capacity: float, down_capacity: float | None = None):
+        self.name = name
+        self.up_capacity = float(up_capacity)
+        self.down_capacity = float(down_capacity if down_capacity is not None else up_capacity)
+        self.up_flows: Dict[Flow, None] = {}
+        self.down_flows: Dict[Flow, None] = {}
+
+    def __repr__(self) -> str:
+        return f"Nic({self.name}, up={self.up_capacity / MB:.1f}MB/s)"
+
+
+class Flow:
+    """A bulk transfer in flight. Internal to :class:`FlowNetwork`."""
+
+    __slots__ = ("src", "dst", "size", "remaining", "rate", "t_last", "done", "wake_seq", "kind")
+
+    def __init__(self, src: Nic, dst: Nic, size: float, done: Event, kind: str):
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.t_last = 0.0
+        self.done = done
+        self.wake_seq = 0
+        self.kind = kind
+
+
+class FlowNetwork:
+    """The cluster fabric: NIC registry, flows, messages, traffic accounting."""
+
+    def __init__(
+        self,
+        env: Environment,
+        metrics: Optional[Metrics] = None,
+        latency: float = 0.1 * MILLISECONDS,
+        fairness: str = "equal-share",
+        message_threshold: int = 4096,
+        per_message_overhead: float = 0.02 * MILLISECONDS,
+        message_header_bytes: int = 66,
+    ):
+        if fairness not in ("equal-share", "maxmin"):
+            raise ValueError(f"unknown fairness discipline {fairness!r}")
+        self.env = env
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.latency = latency
+        self.fairness = fairness
+        self.message_threshold = message_threshold
+        self.per_message_overhead = per_message_overhead
+        self.message_header_bytes = message_header_bytes
+        self._nics: Dict[str, Nic] = {}
+        self._flows: Dict[Flow, None] = {}
+
+    # ------------------------------------------------------------------ #
+    # topology
+    # ------------------------------------------------------------------ #
+    def add_nic(self, name: str, up_capacity: float, down_capacity: float | None = None) -> Nic:
+        if name in self._nics:
+            raise ValueError(f"duplicate NIC name {name!r}")
+        nic = Nic(name, up_capacity, down_capacity)
+        self._nics[name] = nic
+        return nic
+
+    def nic(self, name: str) -> Nic:
+        return self._nics[name]
+
+    @property
+    def active_flow_count(self) -> int:
+        return len(self._flows)
+
+    # ------------------------------------------------------------------ #
+    # transfers
+    # ------------------------------------------------------------------ #
+    def transfer(self, src: Nic, dst: Nic, nbytes: int, kind: str = "bulk") -> Event:
+        """Start a bulk transfer; the event fires when the last byte lands."""
+        done = Event(self.env)
+        if src is dst:
+            # Loopback: no NIC constraint; charge memory-copy-ish zero time.
+            self.metrics.add_traffic(0, kind)  # loopback does not hit the wire
+            done.succeed()
+            return done
+        if nbytes <= self.message_threshold:
+            return self.message(src, dst, nbytes, kind=kind, done=done)
+        flow = Flow(src, dst, nbytes, done, kind)
+        flow.t_last = self.env.now
+        self._flows[flow] = None
+        src.up_flows[flow] = None
+        dst.down_flows[flow] = None
+        self._rebalance([src, dst] if self.fairness == "equal-share" else None)
+        return done
+
+    def message(
+        self,
+        src: Nic,
+        dst: Nic,
+        nbytes: int,
+        kind: str = "message",
+        done: Event | None = None,
+    ) -> Event:
+        """A small control message: latency + serialization, no fair sharing."""
+        if done is None:
+            done = Event(self.env)
+        wire_bytes = nbytes + self.message_header_bytes
+        if src is dst:
+            delay = self.per_message_overhead
+        else:
+            delay = (
+                self.latency
+                + self.per_message_overhead
+                + wire_bytes / min(src.up_capacity, dst.down_capacity)
+            )
+            self.metrics.add_traffic(wire_bytes, kind)
+
+        def fire(_ev: Event, done=done) -> None:
+            done.succeed()
+
+        timer = self.env.timeout(delay)
+        assert timer.callbacks is not None
+        timer.callbacks.append(fire)
+        return done
+
+    # ------------------------------------------------------------------ #
+    # rate maintenance
+    # ------------------------------------------------------------------ #
+    def _affected_flows(self, nics) -> List[Flow]:
+        if nics is None:
+            return list(self._flows)
+        out: Dict[Flow, None] = {}
+        for nic in nics:
+            out.update(nic.up_flows)
+            out.update(nic.down_flows)
+        return list(out)
+
+    def _rebalance(self, touched) -> None:
+        """Re-derive flow rates after an arrival/departure and reschedule wakeups."""
+        now = self.env.now
+        affected = self._affected_flows(touched)
+        # Advance progress of affected flows to `now` under their old rates.
+        for flow in affected:
+            if flow.rate > 0.0:
+                flow.remaining -= flow.rate * (now - flow.t_last)
+                if flow.remaining < 0.0:
+                    flow.remaining = 0.0
+            flow.t_last = now
+        # Compute new rates.
+        if self.fairness == "equal-share":
+            for flow in affected:
+                up_share = flow.src.up_capacity / max(1, len(flow.src.up_flows))
+                down_share = flow.dst.down_capacity / max(1, len(flow.dst.down_flows))
+                flow.rate = min(up_share, down_share)
+        else:
+            self._progressive_filling()
+        # Reschedule completion wakeups for flows whose rate changed.
+        for flow in affected:
+            flow.wake_seq += 1
+            self._arm_wakeup(flow)
+
+    def _progressive_filling(self) -> None:
+        """Exact max-min fairness over all active flows."""
+        unfixed: Dict[Flow, None] = dict(self._flows)
+        residual_up: Dict[Nic, float] = {}
+        residual_down: Dict[Nic, float] = {}
+        count_up: Dict[Nic, int] = {}
+        count_down: Dict[Nic, int] = {}
+        for flow in unfixed:
+            residual_up.setdefault(flow.src, flow.src.up_capacity)
+            residual_down.setdefault(flow.dst, flow.dst.down_capacity)
+            count_up[flow.src] = count_up.get(flow.src, 0) + 1
+            count_down[flow.dst] = count_down.get(flow.dst, 0) + 1
+        while unfixed:
+            # The tightest link determines the next fixing level.
+            level = None
+            for nic, res in residual_up.items():
+                if count_up.get(nic, 0) > 0:
+                    share = res / count_up[nic]
+                    level = share if level is None else min(level, share)
+            for nic, res in residual_down.items():
+                if count_down.get(nic, 0) > 0:
+                    share = res / count_down[nic]
+                    level = share if level is None else min(level, share)
+            assert level is not None
+            # Fix every flow constrained at `level` on a saturated link.
+            fixed_now: List[Flow] = []
+            for flow in unfixed:
+                up_share = residual_up[flow.src] / count_up[flow.src]
+                down_share = residual_down[flow.dst] / count_down[flow.dst]
+                if min(up_share, down_share) <= level * (1 + 1e-9):
+                    flow.rate = level
+                    fixed_now.append(flow)
+            if not fixed_now:  # numerical guard; fix everything at level
+                for flow in unfixed:
+                    flow.rate = level
+                fixed_now = list(unfixed)
+            for flow in fixed_now:
+                unfixed.pop(flow, None)
+                residual_up[flow.src] -= flow.rate
+                residual_down[flow.dst] -= flow.rate
+                count_up[flow.src] -= 1
+                count_down[flow.dst] -= 1
+
+    def _arm_wakeup(self, flow: Flow) -> None:
+        if flow.rate <= 0.0:
+            return
+        eta = flow.remaining / flow.rate
+        seq = flow.wake_seq
+
+        def on_wake(_ev: Event, flow=flow, seq=seq) -> None:
+            if flow.wake_seq != seq or flow not in self._flows:
+                return  # stale wakeup: the flow's rate changed meanwhile
+            self._complete(flow)
+
+        timer = self.env.timeout(eta)
+        assert timer.callbacks is not None
+        timer.callbacks.append(on_wake)
+
+    def _complete(self, flow: Flow) -> None:
+        self._flows.pop(flow, None)
+        flow.src.up_flows.pop(flow, None)
+        flow.dst.down_flows.pop(flow, None)
+        self.metrics.add_traffic(int(flow.size), flow.kind)
+        self._rebalance([flow.src, flow.dst] if self.fairness == "equal-share" else None)
+
+        # Last byte still pays propagation latency.
+        def deliver(_ev: Event, flow=flow) -> None:
+            flow.done.succeed()
+
+        timer = self.env.timeout(self.latency)
+        assert timer.callbacks is not None
+        timer.callbacks.append(deliver)

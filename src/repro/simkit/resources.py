@@ -1,0 +1,145 @@
+"""Queued resources for the discrete-event engine.
+
+Three classic primitives:
+
+* :class:`Resource` — a capacity-limited server pool with a FIFO wait queue
+  (models disk queues, RPC worker pools, hypervisor launch slots, ...);
+* :class:`Store` — an unbounded FIFO of items with blocking ``get`` (models
+  message queues between services);
+* :class:`Container` — a continuous-level reservoir (models buffer space for
+  the asynchronous write pipeline).
+
+All follow the engine's event discipline: acquiring returns an
+:class:`~repro.simkit.core.Event` to be yielded by the calling process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from ..common.errors import SimulationError
+from .core import Environment, Event
+
+
+class Request(Event):
+    """A pending acquisition of one :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """``capacity`` identical servers with a FIFO queue of waiters."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Request] = deque()
+
+    def request(self) -> Request:
+        """Acquire one slot; the returned event fires when granted."""
+        req = Request(self)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            req.succeed()
+        else:
+            self._waiters.append(req)
+        return req
+
+    def release(self) -> None:
+        """Release one slot, waking the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release without matching request")
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            nxt.succeed()  # slot transfers directly; in_use unchanged
+        else:
+            self.in_use -= 1
+
+    def acquire(self):
+        """Process-style helper: ``yield from resource.acquire()``."""
+        yield self.request()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Store:
+    """Unbounded FIFO of arbitrary items with blocking ``get``."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event firing with the next item (immediately if one is queued)."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Container:
+    """A continuous reservoir with blocking ``get`` of arbitrary amounts."""
+
+    def __init__(self, env: Environment, capacity: float, init: float = 0.0):
+        if init > capacity:
+            raise SimulationError("initial level exceeds capacity")
+        self.env = env
+        self.capacity = capacity
+        self.level = init
+        self._getters: List[tuple[float, Event]] = []
+        self._putters: List[tuple[float, Event]] = []
+
+    def put(self, amount: float) -> Event:
+        """Deposit ``amount``; blocks while it would overflow capacity."""
+        ev = Event(self.env)
+        self._putters.append((amount, ev))
+        self._drain()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Withdraw ``amount``; blocks until the level suffices."""
+        ev = Event(self.env)
+        self._getters.append((amount, ev))
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, ev = self._putters[0]
+                if self.level + amount <= self.capacity + 1e-9:
+                    self.level += amount
+                    self._putters.pop(0)
+                    ev.succeed()
+                    progressed = True
+            if self._getters:
+                amount, ev = self._getters[0]
+                if self.level >= amount - 1e-9:
+                    self.level -= amount
+                    self._getters.pop(0)
+                    ev.succeed()
+                    progressed = True

@@ -1,0 +1,98 @@
+"""Measurement side of the simulator: traffic counters, timelines, samples.
+
+Everything the benchmark harness reports — total network traffic (Fig. 4d),
+boot/snapshot latencies (Figs. 4a/b, 5a/b), Bonnie++ throughput (Figs. 6/7) —
+is recorded here. Metrics are deliberately dumb containers: they never affect
+simulated behaviour, so enabling/disabling them cannot change a timeline.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class SampleStats:
+    """Streaming summary of a sample series (count/mean/min/max/stdev)."""
+
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    min_value: float = math.inf
+    max_value: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stdev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = self.total_sq / self.count - self.mean**2
+        return math.sqrt(max(0.0, var))
+
+
+@dataclass
+class Metrics:
+    """Per-simulation measurement sink."""
+
+    #: bytes moved over the wire, by category ("bulk", "message", "chunk", ...)
+    traffic: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: named duration/value samples, e.g. "boot-time", "snapshot-time"
+    samples: Dict[str, SampleStats] = field(default_factory=lambda: defaultdict(SampleStats))
+    #: raw sample values for series that need percentiles or per-VM detail
+    raw: Dict[str, List[float]] = field(default_factory=lambda: defaultdict(list))
+    #: event counters, e.g. "remote-read", "chunk-fetch", "rpc"
+    counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: (time, value) timelines, e.g. queue depths
+    timelines: Dict[str, List[Tuple[float, float]]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+    # ------------------------------------------------------------------ #
+    def add_traffic(self, nbytes: int, kind: str = "bulk") -> None:
+        self.traffic[kind] += int(nbytes)
+
+    def total_traffic(self) -> int:
+        return sum(self.traffic.values())
+
+    def sample(self, name: str, value: float) -> None:
+        self.samples[name].add(value)
+        self.raw[name].append(value)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] += n
+
+    def record(self, name: str, t: float, value: float) -> None:
+        self.timelines[name].append((t, value))
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """Human-readable dump, used by examples and failure diagnostics."""
+        lines: List[str] = ["traffic:"]
+        for kind in sorted(self.traffic):
+            lines.append(f"  {kind:<16} {self.traffic[kind] / 2**20:10.1f} MiB")
+        if self.samples:
+            lines.append("samples:")
+            for name in sorted(self.samples):
+                s = self.samples[name]
+                lines.append(
+                    f"  {name:<24} n={s.count:<6} mean={s.mean:.4f}"
+                    f" min={s.min_value:.4f} max={s.max_value:.4f}"
+                )
+        if self.counters:
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<24} {self.counters[name]}")
+        return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Tests for the taktuk-like broadcast tree."""
+
+import pytest
+
+from repro.baselines.broadcast import broadcast, build_tree, tree_depth
+from repro.baselines.nfs import NfsServer
+from repro.baselines.prepropagation import prepropagate
+from repro.common.errors import SimulationError
+from repro.common.payload import Payload
+from repro.common.units import MB
+from repro.simkit.host import Fabric
+
+
+def pattern(n, seed=1):
+    return bytes((i * 131 + seed * 17) % 256 for i in range(n))
+
+
+class TestTreeConstruction:
+    def test_fanout_two_shape(self):
+        tree = build_tree("root", [f"n{i}" for i in range(6)], fanout=2)
+        assert tree["root"] == ["n0", "n1"]
+        assert tree["n0"] == ["n2", "n3"]
+        assert tree["n1"] == ["n4", "n5"]
+        assert tree["n2"] == []
+
+    def test_depth(self):
+        tree = build_tree("r", [f"n{i}" for i in range(6)], fanout=2)
+        assert tree_depth(tree, "r") == 2
+        assert tree_depth(build_tree("r", [], 2), "r") == 0
+        assert tree_depth(build_tree("r", ["a"], 2), "r") == 1
+
+    def test_depth_grows_logarithmically(self):
+        d30 = tree_depth(build_tree("r", [f"n{i}" for i in range(30)], 2), "r")
+        d110 = tree_depth(build_tree("r", [f"n{i}" for i in range(110)], 2), "r")
+        assert d30 == 4  # 2+4+8+16 = 30
+        assert d110 == 6
+
+    def test_fanout_one_is_chain(self):
+        tree = build_tree("r", ["a", "b", "c"], fanout=1)
+        assert tree_depth(tree, "r") == 3
+
+    def test_invalid_fanout(self):
+        with pytest.raises(SimulationError):
+            build_tree("r", ["a"], 0)
+
+
+def make_cluster(n, seed=3):
+    fab = Fabric(seed=seed)
+    source = fab.add_host("source")
+    targets = [fab.add_host(f"n{i}") for i in range(n)]
+    return fab, source, targets
+
+
+def run(fab, gen):
+    return fab.run(fab.env.process(gen))
+
+
+class TestBroadcast:
+    def test_content_delivered_everywhere(self):
+        fab, source, targets = make_cluster(5)
+        data = pattern(2 * MB)
+
+        def scenario():
+            report = yield from broadcast(
+                fab, source, targets, Payload.from_bytes(data), "/img"
+            )
+            return report
+
+        report = run(fab, scenario())
+        assert set(report.finish_times) == {t.name for t in targets}
+        for t in targets:
+            assert t.open_file("/img").read(0, len(data)).to_bytes() == data
+
+    def test_makespan_grows_with_depth(self):
+        def makespan(n):
+            fab, source, targets = make_cluster(n)
+
+            def scenario():
+                r = yield from broadcast(
+                    fab, source, targets, Payload.opaque("img", 50 * MB), "/img"
+                )
+                return r
+
+            return run(fab, scenario()).makespan
+
+        m2, m14, m62 = makespan(2), makespan(14), makespan(62)
+        assert m2 < m14 < m62
+
+    def test_pipelined_blocks_much_faster_than_store_and_forward(self):
+        def makespan(block_size):
+            fab, source, targets = make_cluster(14)
+
+            def scenario():
+                r = yield from broadcast(
+                    fab, source, targets, Payload.opaque("img", 100 * MB), "/img",
+                    block_size=block_size,
+                )
+                return r
+
+            return run(fab, scenario()).makespan
+
+        saf = makespan(None)
+        pipelined = makespan(4 * MB)
+        assert pipelined < saf / 2
+
+    def test_traffic_is_one_copy_per_target(self):
+        fab, source, targets = make_cluster(7)
+        size = 10 * MB
+
+        def scenario():
+            yield from broadcast(fab, source, targets, Payload.opaque("i", size), "/img")
+
+        run(fab, scenario())
+        assert fab.metrics.traffic["broadcast"] == 7 * size
+
+    def test_single_target_direct_copy(self):
+        fab, source, targets = make_cluster(1)
+
+        def scenario():
+            r = yield from broadcast(
+                fab, source, targets, Payload.opaque("i", 55 * MB), "/img"
+            )
+            return r
+
+        report = run(fab, scenario())
+        # disk read (1s) + transfer (~0.47s) + disk write (1s)
+        assert report.makespan == pytest.approx(2.5, rel=0.1)
+
+
+class TestPrepropagation:
+    def test_from_nfs_server(self):
+        fab = Fabric(seed=4)
+        nfs_host = fab.add_host("nfs")
+        nfs = NfsServer(nfs_host)
+        data = pattern(MB)
+        nfs.put_file("/image.raw", Payload.from_bytes(data))
+        targets = [fab.add_host(f"n{i}") for i in range(3)]
+
+        def scenario():
+            r = yield from prepropagate(fab, nfs, "/image.raw", targets)
+            return r
+
+        report = run(fab, scenario())
+        assert len(report.finish_times) == 3
+        for t in targets:
+            assert t.open_file("/local/image.raw").read(0, MB).to_bytes() == data

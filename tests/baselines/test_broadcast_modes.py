@@ -1,0 +1,54 @@
+"""Additional broadcast-mode tests (disk staging variants, fanout effects)."""
+
+import pytest
+
+from repro.baselines.broadcast import broadcast
+from repro.common.payload import Payload
+from repro.common.units import MB
+from repro.simkit.host import Fabric
+
+
+def make_cluster(n, seed=19):
+    fab = Fabric(seed=seed)
+    source = fab.add_host("source")
+    targets = [fab.add_host(f"n{i}") for i in range(n)]
+    return fab, source, targets
+
+
+def run_broadcast(n=6, **kwargs):
+    fab, source, targets = make_cluster(n)
+
+    def scenario():
+        report = yield from broadcast(
+            fab, source, targets, Payload.opaque("img", 50 * MB), "/img", **kwargs
+        )
+        return report
+
+    return fab.run(fab.env.process(scenario()))
+
+
+class TestStagingVariants:
+    def test_forward_from_disk_slower(self):
+        page_cache = run_broadcast(forward_from_disk=False).makespan
+        disk_staged = run_broadcast(forward_from_disk=True).makespan
+        assert disk_staged > page_cache
+
+    def test_skip_source_disk_read(self):
+        cold_source = run_broadcast(read_from_disk_at_source=True).makespan
+        warm_source = run_broadcast(read_from_disk_at_source=False).makespan
+        assert warm_source < cold_source
+
+    def test_higher_fanout_shallower_but_contended(self):
+        f2 = run_broadcast(n=12, fanout=2)
+        f4 = run_broadcast(n=12, fanout=4)
+        assert f4.depth < f2.depth
+        # both deliver to everyone
+        assert len(f4.finish_times) == len(f2.finish_times) == 12
+
+    def test_finish_times_respect_tree_depth(self):
+        report = run_broadcast(n=14, fanout=2)
+        # the roots' children finish before the deepest leaves
+        first_level = {"n0", "n1"}
+        deepest = max(report.finish_times.values())
+        for name in first_level:
+            assert report.finish_times[name] < deepest

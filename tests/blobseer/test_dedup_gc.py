@@ -1,0 +1,277 @@
+"""Tests for the deduplication and garbage-collection extensions (§7)."""
+
+import pytest
+
+from repro.blobseer import BlobSeerDeployment, collect_garbage
+from repro.common.errors import UnknownBlobError, UnknownVersionError
+from repro.common.payload import Payload
+from repro.common.units import KiB
+from repro.simkit.host import Fabric
+
+CHUNK = 4 * KiB
+IMG = 8 * CHUNK
+
+
+def pattern(n, seed=1):
+    return bytes((i * 131 + seed * 17) % 256 for i in range(n))
+
+
+def make(dedup=False, seed=7):
+    fab = Fabric(seed=seed)
+    hosts = [fab.add_host(f"node{i}") for i in range(4)]
+    manager = fab.add_host("manager")
+    dep = BlobSeerDeployment(fab, hosts, hosts, manager, dedup=dedup)
+    rec = dep.seed_blob(Payload.from_bytes(pattern(IMG)), CHUNK)
+    return fab, dep, hosts, rec
+
+
+def run(fab, gen):
+    return fab.run(fab.env.process(gen))
+
+
+class TestDeduplication:
+    def test_identical_chunk_stored_once(self):
+        fab, dep, hosts, rec = make(dedup=True)
+        client = dep.client(hosts[0])
+        same = Payload.from_bytes(pattern(CHUNK, seed=9))
+
+        def scenario():
+            r1 = yield from client.write_chunks(rec.blob_id, {1: same})
+            r2 = yield from client.write_chunks(rec.blob_id, {3: same})
+            return r1, r2
+
+        before = dep.stored_bytes()
+        run(fab, scenario())
+        # two writes of identical content: one new chunk on disk
+        assert dep.stored_bytes() == before + CHUNK
+        assert fab.metrics.counters["dedup-reused"] == 1
+
+    def test_dedup_across_blobs(self):
+        fab, dep, hosts, rec = make(dedup=True)
+        c0 = dep.client(hosts[0])
+        c1 = dep.client(hosts[1])
+        same = Payload.from_bytes(pattern(CHUNK, seed=5))
+
+        def scenario():
+            clone_a = yield from c0.clone(rec.blob_id, rec.version)
+            clone_b = yield from c1.clone(rec.blob_id, rec.version)
+            yield from c0.write_chunks(clone_a.blob_id, {0: same})
+            yield from c1.write_chunks(clone_b.blob_id, {0: same})
+            a = yield from c1.read(clone_a.blob_id, None, 0, CHUNK)
+            b = yield from c0.read(clone_b.blob_id, None, 0, CHUNK)
+            return a, b
+
+        before = dep.stored_bytes()
+        a, b = run(fab, scenario())
+        assert dep.stored_bytes() == before + CHUNK  # shared across blobs
+        assert a.to_bytes() == b.to_bytes() == pattern(CHUNK, seed=5)
+
+    def test_seeded_content_deduplicates_rewrites(self):
+        """Rewriting a chunk with the base image's own content stores nothing."""
+        fab, dep, hosts, rec = make(dedup=True)
+        client = dep.client(hosts[0])
+        original = Payload.from_bytes(pattern(IMG)).slice(2 * CHUNK, 3 * CHUNK)
+
+        def scenario():
+            r = yield from client.write_chunks(rec.blob_id, {2: original})
+            return r
+
+        before = dep.stored_bytes()
+        run(fab, scenario())
+        assert dep.stored_bytes() == before
+
+    def test_dedup_disabled_duplicates(self):
+        fab, dep, hosts, rec = make(dedup=False)
+        client = dep.client(hosts[0])
+        same = Payload.from_bytes(pattern(CHUNK, seed=9))
+
+        def scenario():
+            yield from client.write_chunks(rec.blob_id, {1: same})
+            yield from client.write_chunks(rec.blob_id, {3: same})
+
+        before = dep.stored_bytes()
+        run(fab, scenario())
+        assert dep.stored_bytes() == before + 2 * CHUNK
+
+    def test_dedup_has_cpu_cost(self):
+        """Fingerprinting is not free: dedup writes take a bit longer."""
+
+        def commit_time(dedup):
+            fab, dep, hosts, rec = make(dedup=dedup)
+            client = dep.client(hosts[0])
+
+            def scenario():
+                t0 = fab.env.now
+                yield from client.write_chunks(
+                    rec.blob_id, {0: Payload.from_bytes(pattern(CHUNK, 3))}
+                )
+                return fab.env.now - t0
+
+            return run(fab, scenario())
+
+        assert commit_time(True) > commit_time(False)
+
+
+class TestVersionDeletion:
+    def test_delete_version_unpublishes(self):
+        fab, dep, hosts, rec = make()
+        client = dep.client(hosts[0])
+
+        def scenario():
+            r2 = yield from client.write_chunks(
+                rec.blob_id, {0: Payload.from_bytes(pattern(CHUNK, 2))}
+            )
+            return r2
+
+        r2 = run(fab, scenario())
+        dep.registry.delete_version(rec.blob_id, r2.version)
+        with pytest.raises(UnknownVersionError):
+            dep.registry.lookup(rec.blob_id, r2.version)
+        # latest falls back to the previous version
+        assert dep.registry.lookup(rec.blob_id).version == rec.version
+
+    def test_cannot_delete_only_snapshot(self):
+        fab, dep, hosts, rec = make()
+        dep.registry.delete_version(rec.blob_id, 0)
+        with pytest.raises(UnknownVersionError):
+            dep.registry.delete_version(rec.blob_id, rec.version)
+
+    def test_delete_blob(self):
+        fab, dep, hosts, rec = make()
+        dep.registry.delete_blob(rec.blob_id)
+        with pytest.raises(UnknownBlobError):
+            dep.registry.lookup(rec.blob_id)
+
+    def test_version_numbers_never_reused(self):
+        fab, dep, hosts, rec = make()
+        client = dep.client(hosts[0])
+
+        def write_one(seed):
+            def scenario():
+                r = yield from client.write_chunks(
+                    rec.blob_id, {0: Payload.from_bytes(pattern(CHUNK, seed))}
+                )
+                return r
+
+            return run(fab, scenario())
+
+        r2 = write_one(2)
+        dep.registry.delete_version(rec.blob_id, r2.version)
+        r3 = write_one(3)
+        assert r3.version > r2.version
+
+
+class TestGarbageCollection:
+    def test_gc_noop_when_everything_live(self):
+        fab, dep, hosts, rec = make()
+        report = collect_garbage(dep)
+        assert report.chunks_dropped == 0
+        assert report.nodes_dropped == 0
+        assert report.bytes_reclaimed == 0
+
+    def test_gc_reclaims_deleted_clone_diffs_only(self):
+        fab, dep, hosts, rec = make()
+        client = dep.client(hosts[0])
+
+        def scenario():
+            clone = yield from client.clone(rec.blob_id, rec.version)
+            yield from client.write_chunks(
+                clone.blob_id, {0: Payload.from_bytes(pattern(CHUNK, 7))}
+            )
+            return clone
+
+        clone = run(fab, scenario())
+        assert dep.stored_bytes() == IMG + CHUNK
+        dep.registry.delete_blob(clone.blob_id)
+        report = collect_garbage(dep)
+        assert report.bytes_reclaimed == CHUNK  # the diff, not the shared base
+        assert dep.stored_bytes() == IMG
+        # base image fully intact
+        reader = dep.client(hosts[2])
+
+        def verify():
+            p = yield from reader.read(rec.blob_id, rec.version, 0, IMG)
+            return p
+
+        assert run(fab, verify()).to_bytes() == pattern(IMG)
+
+    def test_gc_keeps_chunks_shared_by_surviving_snapshots(self):
+        fab, dep, hosts, rec = make()
+        client = dep.client(hosts[0])
+
+        def scenario():
+            r2 = yield from client.write_chunks(
+                rec.blob_id, {0: Payload.from_bytes(pattern(CHUNK, 4))}
+            )
+            r3 = yield from client.write_chunks(
+                rec.blob_id, {1: Payload.from_bytes(pattern(CHUNK, 5))}
+            )
+            return r2, r3
+
+        r2, r3 = run(fab, scenario())
+        # delete the middle version; v3 still shares v2's chunk 0
+        dep.registry.delete_version(rec.blob_id, r2.version)
+        report = collect_garbage(dep)
+        assert report.bytes_reclaimed == 0  # everything still reachable via v3
+        reader = dep.client(hosts[3])
+
+        def verify():
+            p = yield from reader.read(rec.blob_id, r3.version, 0, 2 * CHUNK)
+            return p
+
+        got = run(fab, verify()).to_bytes()
+        assert got[:CHUNK] == pattern(CHUNK, 4)
+        assert got[CHUNK:] == pattern(CHUNK, 5)
+
+    def test_gc_sweeps_metadata_nodes(self):
+        fab, dep, hosts, rec = make()
+        client = dep.client(hosts[0])
+
+        def scenario():
+            clone = yield from client.clone(rec.blob_id, rec.version)
+            yield from client.write_chunks(
+                clone.blob_id, {0: Payload.from_bytes(pattern(CHUNK, 8))}
+            )
+            return clone
+
+        clone = run(fab, scenario())
+        nodes_before = sum(len(s.nodes) for s in dep.meta_services.values())
+        dep.registry.delete_blob(clone.blob_id)
+        report = collect_garbage(dep)
+        assert report.nodes_dropped > 0
+        nodes_after = sum(len(s.nodes) for s in dep.meta_services.values())
+        assert nodes_after == nodes_before - report.nodes_dropped
+
+    def test_gc_is_idempotent(self):
+        fab, dep, hosts, rec = make()
+        client = dep.client(hosts[0])
+
+        def scenario():
+            clone = yield from client.clone(rec.blob_id, rec.version)
+            yield from client.write_chunks(
+                clone.blob_id, {0: Payload.from_bytes(pattern(CHUNK, 6))}
+            )
+            return clone
+
+        clone = run(fab, scenario())
+        dep.registry.delete_blob(clone.blob_id)
+        collect_garbage(dep)
+        second = collect_garbage(dep)
+        assert second.bytes_reclaimed == 0
+        assert second.nodes_dropped == 0
+
+    def test_gc_prunes_stale_dedup_entries(self):
+        fab, dep, hosts, rec = make(dedup=True)
+        client = dep.client(hosts[0])
+        unique = Payload.from_bytes(pattern(CHUNK, 11))
+
+        def scenario():
+            clone = yield from client.clone(rec.blob_id, rec.version)
+            yield from client.write_chunks(clone.blob_id, {0: unique})
+            return clone
+
+        clone = run(fab, scenario())
+        assert unique in dep.dedup_index
+        dep.registry.delete_blob(clone.blob_id)
+        collect_garbage(dep)
+        assert unique not in dep.dedup_index

@@ -1,0 +1,76 @@
+"""Tests for the placement policy (provider manager)."""
+
+import numpy as np
+import pytest
+
+from repro.blobseer.pmanager import PlacementPolicy
+from repro.common.errors import StorageError
+
+PROVIDERS = [f"p{i}" for i in range(6)]
+
+
+class TestRoundRobin:
+    def test_cycles_evenly(self):
+        policy = PlacementPolicy(PROVIDERS, "round-robin")
+        picks = [p[0] for p in policy.allocate(12, 100)]
+        assert picks == PROVIDERS + PROVIDERS
+
+    def test_replication_distinct_providers(self):
+        policy = PlacementPolicy(PROVIDERS, "round-robin")
+        for group in policy.allocate(10, 100, replication=3):
+            assert len(set(group)) == 3
+
+    def test_perfectly_balanced(self):
+        policy = PlacementPolicy(PROVIDERS, "round-robin")
+        policy.allocate(60, 100)
+        assert policy.imbalance() == 1.0
+
+
+class TestRandom:
+    def test_uses_all_providers_eventually(self):
+        policy = PlacementPolicy(PROVIDERS, "random", rng=np.random.default_rng(0))
+        picks = {p[0] for p in policy.allocate(200, 100)}
+        assert picks == set(PROVIDERS)
+
+    def test_replication_distinct(self):
+        policy = PlacementPolicy(PROVIDERS, "random", rng=np.random.default_rng(1))
+        for group in policy.allocate(50, 100, replication=2):
+            assert len(set(group)) == 2
+
+    def test_roughly_balanced(self):
+        policy = PlacementPolicy(PROVIDERS, "random", rng=np.random.default_rng(2))
+        policy.allocate(600, 100)
+        assert policy.imbalance() < 1.5
+
+
+class TestLeastLoaded:
+    def test_prefers_empty_providers(self):
+        policy = PlacementPolicy(PROVIDERS, "least-loaded")
+        first = [p[0] for p in policy.allocate(6, 100)]
+        assert sorted(first) == sorted(PROVIDERS)  # each used once
+
+    def test_balances_uneven_sizes(self):
+        policy = PlacementPolicy(PROVIDERS, "least-loaded")
+        # one huge chunk, then many small: smalls avoid the loaded provider
+        policy.allocate(1, 10_000)
+        rest = [p[0] for p in policy.allocate(5, 100)]
+        loaded = max(policy.load_bytes, key=policy.load_bytes.get)
+        assert policy.imbalance() < 20
+        assert all(p != loaded for p in rest)
+
+
+class TestValidation:
+    def test_empty_providers(self):
+        with pytest.raises(StorageError):
+            PlacementPolicy([], "round-robin")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(StorageError):
+            PlacementPolicy(PROVIDERS, "rendezvous")
+
+    def test_replication_exceeds_pool(self):
+        policy = PlacementPolicy(PROVIDERS[:2], "round-robin")
+        with pytest.raises(StorageError):
+            policy.allocate(1, 100, replication=3)
+        with pytest.raises(StorageError):
+            policy.allocate(1, 100, replication=0)

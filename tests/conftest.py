@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+import repro.simkit.rpc as rpc
+from repro.simkit import Fabric
+
+
+@pytest.fixture(autouse=True)
+def _clean_failure_registry():
+    """Failure injection state is process-global; isolate tests."""
+    rpc.reset_failures()
+    yield
+    rpc.reset_failures()
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(seed=1234)
+
+
+def run_process(fab: Fabric, gen, name: str = "test"):
+    """Run a generator as a process to completion and return its value."""
+    proc = fab.env.process(gen, name=name)
+    return fab.run(proc)

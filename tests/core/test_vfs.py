@@ -1,0 +1,312 @@
+"""End-to-end tests of the mirroring VFS over a BlobSeer deployment."""
+
+import pytest
+
+from repro.blobseer import BlobSeerDeployment
+from repro.common.errors import MirrorStateError
+from repro.common.payload import Payload
+from repro.common.units import KiB
+from repro.core import MirrorVFS, mount
+from repro.simkit.host import Fabric
+
+CHUNK = 4 * KiB
+IMG = 8 * CHUNK
+
+
+def pattern(n, seed=1):
+    return bytes((i * 131 + seed * 17) % 256 for i in range(n))
+
+
+def setup_cloud(n_nodes=4, seed=3, image=None):
+    fab = Fabric(seed=seed)
+    hosts = [fab.add_host(f"node{i}") for i in range(n_nodes)]
+    manager = fab.add_host("manager")
+    dep = BlobSeerDeployment(fab, hosts, hosts, manager)
+    data = image if image is not None else pattern(IMG)
+    rec = dep.seed_blob(Payload.from_bytes(data), CHUNK)
+    return fab, dep, hosts, rec, data
+
+
+def run(fab, gen):
+    return fab.run(fab.env.process(gen))
+
+
+class TestLazyMirroring:
+    def test_read_matches_source(self):
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version)
+            p = yield from h.read(100, 1000)
+            return p
+
+        assert run(fab, scenario()).to_bytes() == data[100:1100]
+
+    def test_only_touched_chunks_fetched(self):
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version)
+            yield from h.read(0, 10)  # one chunk
+            return h
+
+        h = run(fab, scenario())
+        assert h.modmgr.mirrored_bytes() == CHUNK  # full chunk prefetched
+        assert fab.metrics.counters["mirror-chunks-fetched"] == 1
+
+    def test_second_read_same_chunk_is_local(self):
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version)
+            yield from h.read(0, 10)
+            remote_before = fab.metrics.counters["mirror-remote-read"]
+            p = yield from h.read(CHUNK - 50, 50)  # same chunk, different region
+            return remote_before, p
+
+        remote_before, p = run(fab, scenario())
+        assert fab.metrics.counters["mirror-remote-read"] == remote_before
+        assert p.to_bytes() == data[CHUNK - 50 : CHUNK]
+
+    def test_writes_stay_local(self):
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version)
+            yield from h.write(10, Payload.from_bytes(b"LOCAL"))
+            p = yield from h.read(8, 10)
+            return h, p
+
+        h, p = run(fab, scenario())
+        # read-your-writes; rest of the chunk fetched remotely around it
+        expected = bytearray(data[8:18])
+        expected[2:7] = b"LOCAL"
+        assert p.to_bytes() == bytes(expected)
+        # repository content untouched before COMMIT
+        assert dep.stored_bytes() == IMG
+
+    def test_write_gap_fill_keeps_invariant_and_content(self):
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version)
+            yield from h.write(100, Payload.from_bytes(b"A" * 10))
+            yield from h.write(300, Payload.from_bytes(b"B" * 10))  # gap (110,300)
+            p = yield from h.read(90, 250)
+            return h, p
+
+        h, p = run(fab, scenario())
+        assert fab.metrics.counters["mirror-gap-fill"] == 1
+        expected = bytearray(data[90:340])
+        expected[10:20] = b"A" * 10
+        expected[210:220] = b"B" * 10
+        assert p.to_bytes() == bytes(expected[:250])
+        lo, hi = h.modmgr.mirrored_interval(0)
+        assert (lo, hi) == (100, 310) or (lo, hi) == (0, CHUNK)
+
+    def test_out_of_range_io_rejected(self):
+        fab, dep, hosts, rec, _ = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version)
+            with pytest.raises(MirrorStateError):
+                yield from h.read(IMG - 10, 20)
+            with pytest.raises(MirrorStateError):
+                yield from h.write(IMG, Payload.from_bytes(b"x"))
+            return True
+
+        assert run(fab, scenario())
+
+
+class TestCloneCommit:
+    def test_commit_publishes_standalone_snapshot(self):
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version)
+            yield from h.write(CHUNK + 5, Payload.from_bytes(b"MODIFIED"))
+            clone_rec = yield from h.ioctl_clone()
+            commit_rec = yield from h.ioctl_commit()
+            # snapshot readable as a standalone raw image from another node
+            reader = dep.client(hosts[2])
+            img = yield from reader.read(
+                commit_rec.blob_id, commit_rec.version, 0, IMG
+            )
+            return clone_rec, commit_rec, img
+
+        clone_rec, commit_rec, img = run(fab, scenario())
+        assert clone_rec.blob_id != rec.blob_id
+        assert commit_rec.blob_id == clone_rec.blob_id
+        assert commit_rec.version == clone_rec.version + 1
+        expected = bytearray(data)
+        expected[CHUNK + 5 : CHUNK + 13] = b"MODIFIED"
+        assert img.to_bytes() == bytes(expected)
+
+    def test_commit_stores_only_diff(self):
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version)
+            yield from h.write(0, Payload.from_bytes(b"x" * 100))
+            yield from h.ioctl_clone()
+            yield from h.ioctl_commit()
+
+        run(fab, scenario())
+        # one dirty chunk stored beyond the base image
+        assert dep.stored_bytes() == IMG + CHUNK
+
+    def test_consecutive_commits_total_order(self):
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version)
+            yield from h.ioctl_clone()
+            yield from h.write(0, Payload.from_bytes(b"v2"))
+            r2 = yield from h.ioctl_commit()
+            yield from h.write(CHUNK, Payload.from_bytes(b"v3"))
+            r3 = yield from h.ioctl_commit()
+            reader = dep.client(hosts[1])
+            img2 = yield from reader.read(r2.blob_id, r2.version, 0, 2 * CHUNK)
+            img3 = yield from reader.read(r3.blob_id, r3.version, 0, 2 * CHUNK)
+            return r2, r3, img2, img3
+
+        r2, r3, img2, img3 = run(fab, scenario())
+        assert r3.version == r2.version + 1
+        exp2 = bytearray(data[: 2 * CHUNK])
+        exp2[0:2] = b"v2"
+        assert img2.to_bytes() == bytes(exp2)
+        exp3 = bytearray(exp2)
+        exp3[CHUNK : CHUNK + 2] = b"v3"
+        assert img3.to_bytes() == bytes(exp3)
+
+    def test_commit_without_clone_targets_source_blob(self):
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version)
+            yield from h.write(0, Payload.from_bytes(b"direct"))
+            r = yield from h.ioctl_commit()
+            return r
+
+        r = run(fab, scenario())
+        assert r.blob_id == rec.blob_id
+        assert r.version == rec.version + 1
+
+    def test_empty_commit_is_noop(self):
+        fab, dep, hosts, rec, _ = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version)
+            yield from h.ioctl_clone()
+            r1 = yield from h.ioctl_commit()
+            return r1
+
+        r1 = run(fab, scenario())
+        assert fab.metrics.counters["ioctl-commit"] == 0
+        assert r1.version == 1  # clone's first snapshot, nothing new published
+
+    def test_commit_gap_fills_partial_chunks(self):
+        """A dirty chunk written only partially must be completed before COMMIT."""
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version)
+            yield from h.write(10, Payload.from_bytes(b"tiny"))
+            yield from h.ioctl_clone()
+            r = yield from h.ioctl_commit()
+            reader = dep.client(hosts[1])
+            img = yield from reader.read(r.blob_id, r.version, 0, CHUNK)
+            return img
+
+        img = run(fab, scenario())
+        assert fab.metrics.counters["commit-gap-fill"] == 1
+        expected = bytearray(data[:CHUNK])
+        expected[10:14] = b"tiny"
+        assert img.to_bytes() == bytes(expected)
+
+    def test_snapshots_of_many_instances_share_content(self):
+        """Multisnapshotting: N clones with small diffs stay near IMG + N*diff."""
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def one_vm(node, i):
+            h = yield from mount(node, dep, rec.blob_id, rec.version, path=f"/m{i}")
+            yield from h.write(i * CHUNK, Payload.from_bytes(pattern(64, seed=i)))
+            yield from h.ioctl_clone()
+            yield from h.ioctl_commit()
+
+        procs = [fab.env.process(one_vm(hosts[i], i)) for i in range(4)]
+        fab.run(fab.env.all_of(procs))
+        assert dep.stored_bytes() == IMG + 4 * CHUNK
+
+
+class TestPersistenceAcrossOpen:
+    def test_close_reopen_restores_state(self):
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version, path="/m")
+            yield from h.write(5, Payload.from_bytes(b"persist"))
+            yield from h.read(2 * CHUNK, 100)
+            yield from h.close()
+            with pytest.raises(MirrorStateError):
+                yield from h.read(0, 1)
+            h2 = yield from mount(hosts[0], dep, rec.blob_id, rec.version, path="/m")
+            remote_before = fab.metrics.counters["mirror-remote-read"]
+            p = yield from h2.read(5, 7)  # served locally: state restored
+            return remote_before, p, h2
+
+        remote_before, p, h2 = run(fab, scenario())
+        assert p.to_bytes() == b"persist"
+        assert fab.metrics.counters["mirror-remote-read"] == remote_before
+        assert h2.modmgr.dirty_chunks() == [0]
+
+    def test_reopen_wrong_snapshot_rejected(self):
+        fab, dep, hosts, rec, data = setup_cloud()
+        rec2 = dep.seed_blob(Payload.from_bytes(pattern(IMG, 9)), CHUNK)
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version, path="/m")
+            yield from h.close()
+            vfs = MirrorVFS(hosts[0], dep.client(hosts[0]))
+            with pytest.raises(MirrorStateError):
+                yield from vfs.open(rec2.blob_id, rec2.version, path="/m")
+            return True
+
+        assert run(fab, scenario())
+
+    def test_commit_target_survives_reopen(self):
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version, path="/m")
+            yield from h.ioctl_clone()
+            yield from h.write(0, Payload.from_bytes(b"a"))
+            r1 = yield from h.ioctl_commit()
+            yield from h.close()
+            h2 = yield from mount(hosts[0], dep, rec.blob_id, rec.version, path="/m")
+            yield from h2.write(CHUNK, Payload.from_bytes(b"b"))
+            r2 = yield from h2.ioctl_commit()
+            return r1, r2
+
+        r1, r2 = run(fab, scenario())
+        assert r2.blob_id == r1.blob_id
+        assert r2.version == r1.version + 1
+
+
+class TestHypervisorIndependence:
+    def test_portability_snapshot_readable_on_fresh_node(self):
+        """Suspend on one node, resume on another (paper §5.5 second setting)."""
+        fab, dep, hosts, rec, data = setup_cloud()
+
+        def scenario():
+            h = yield from mount(hosts[0], dep, rec.blob_id, rec.version, path="/a")
+            yield from h.write(123, Payload.from_bytes(b"state-before-suspend"))
+            yield from h.ioctl_clone()
+            snap = yield from h.ioctl_commit()
+            yield from h.close()
+            # resume on a different node, no local content available
+            h2 = yield from mount(hosts[3], dep, snap.blob_id, snap.version, path="/b")
+            p = yield from h2.read(123, 20)
+            return p
+
+        assert run(fab, scenario()).to_bytes() == b"state-before-suspend"

@@ -1,0 +1,81 @@
+"""Property tests for the flow network: physical bounds hold for any workload."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.units import MB
+from repro.simkit.core import Environment
+from repro.simkit.network import FlowNetwork
+
+N_HOSTS = 5
+CAP = 100 * MB
+
+flow_spec = st.tuples(
+    st.integers(0, N_HOSTS - 1),  # src
+    st.integers(0, N_HOSTS - 1),  # dst
+    st.integers(1, 50),           # size in MB
+    st.integers(0, 200),          # start time in ms
+)
+
+
+def run_workload(flows, fairness):
+    env = Environment()
+    net = FlowNetwork(env, fairness=fairness, latency=0.0)
+    nics = [net.add_nic(f"h{i}", CAP) for i in range(N_HOSTS)]
+    finish = {}
+
+    def starter(i, src, dst, size_mb, start_ms):
+        yield env.timeout(start_ms / 1000.0)
+        done = net.transfer(nics[src], nics[dst], size_mb * MB)
+        yield done
+        finish[i] = env.now
+
+    for i, (src, dst, size_mb, start_ms) in enumerate(flows):
+        env.process(starter(i, src, dst, size_mb, start_ms))
+    env.run()
+    return finish
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(flow_spec, min_size=1, max_size=12))
+@pytest.mark.parametrize("fairness", ["equal-share", "maxmin"])
+def test_link_capacity_lower_bounds(fairness, flows):
+    """No schedule can beat the per-link aggregate capacity bound."""
+    finish = run_workload(flows, fairness)
+    # every flow individually: finish >= start + size/capacity
+    for i, (src, dst, size_mb, start_ms) in enumerate(flows):
+        if src == dst:
+            continue  # loopback is free
+        lower = start_ms / 1000.0 + size_mb * MB / CAP
+        assert finish[i] >= lower - 1e-6, f"flow {i} beat the line rate"
+    # per uplink: total egress bytes cannot drain faster than capacity
+    for host in range(N_HOSTS):
+        egress = [
+            (i, size_mb, start_ms)
+            for i, (src, dst, size_mb, start_ms) in enumerate(flows)
+            if src == host and dst != src
+        ]
+        if not egress:
+            continue
+        total = sum(size_mb for _, size_mb, _ in egress) * MB
+        earliest = min(start_ms for *_, start_ms in egress) / 1000.0
+        last_finish = max(finish[i] for i, _, _ in egress)
+        assert last_finish >= earliest + total / CAP - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(flow_spec, min_size=1, max_size=10))
+def test_equal_share_never_faster_than_maxmin(flows):
+    """The approximation is conservative: completions can only be later."""
+    eq = run_workload(flows, "equal-share")
+    mm = run_workload(flows, "maxmin")
+    for i in eq:
+        assert eq[i] >= mm[i] - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(flow_spec, min_size=1, max_size=10), st.integers(0, 2**16))
+def test_determinism_any_workload(flows, _salt):
+    assert run_workload(flows, "equal-share") == run_workload(flows, "equal-share")

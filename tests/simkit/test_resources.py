@@ -1,0 +1,196 @@
+"""Tests for Resource / Store / Container."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simkit.core import Environment
+from repro.simkit.resources import Container, Resource, Store
+
+
+class TestResource:
+    def test_capacity_one_serializes(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def user(name):
+            req = res.request()
+            yield req
+            log.append((env.now, name, "start"))
+            yield env.timeout(1.0)
+            res.release()
+            log.append((env.now, name, "end"))
+
+        env.process(user("a"))
+        env.process(user("b"))
+        env.run()
+        assert log == [
+            (0.0, "a", "start"),
+            (1.0, "a", "end"),
+            (1.0, "b", "start"),
+            (2.0, "b", "end"),
+        ]
+
+    def test_capacity_two_overlaps(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        ends = []
+
+        def user():
+            yield res.request()
+            yield env.timeout(1.0)
+            res.release()
+            ends.append(env.now)
+
+        for _ in range(4):
+            env.process(user())
+        env.run()
+        assert ends == [1.0, 1.0, 2.0, 2.0]
+
+    def test_fifo_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(i):
+            yield res.request()
+            order.append(i)
+            yield env.timeout(0.1)
+            res.release()
+
+        for i in range(5):
+            env.process(user(i))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_release_without_request_raises(self):
+        env = Environment()
+        res = Resource(env)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_queue_length(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder():
+            yield res.request()
+            yield env.timeout(10.0)
+            res.release()
+
+        def waiter():
+            yield res.request()
+            res.release()
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=1.0)
+        assert res.queue_length == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+
+        def getter():
+            v = yield store.get()
+            return v
+
+        assert env.run(env.process(getter())) == "x"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        out = []
+
+        def getter():
+            v = yield store.get()
+            out.append((env.now, v))
+
+        def putter():
+            yield env.timeout(2.0)
+            store.put("late")
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert out == [(2.0, "late")]
+
+    def test_fifo_items_and_getters(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter(i):
+            v = yield store.get()
+            got.append((i, v))
+
+        env.process(getter(0))
+        env.process(getter(1))
+
+        def putter():
+            yield env.timeout(1.0)
+            store.put("first")
+            store.put("second")
+
+        env.process(putter())
+        env.run()
+        assert got == [(0, "first"), (1, "second")]
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestContainer:
+    def test_get_blocks_until_level(self):
+        env = Environment()
+        c = Container(env, capacity=100.0, init=0.0)
+        out = []
+
+        def consumer():
+            yield c.get(30.0)
+            out.append(env.now)
+
+        def producer():
+            yield env.timeout(1.0)
+            yield c.put(15.0)
+            yield env.timeout(1.0)
+            yield c.put(15.0)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert out == [2.0]
+        assert c.level == 0.0
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        c = Container(env, capacity=10.0, init=10.0)
+        out = []
+
+        def producer():
+            yield c.put(5.0)
+            out.append(env.now)
+
+        def consumer():
+            yield env.timeout(3.0)
+            yield c.get(5.0)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert out == [3.0]
+
+    def test_init_over_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Container(Environment(), capacity=1.0, init=2.0)

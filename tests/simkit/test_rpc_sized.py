@@ -1,0 +1,109 @@
+"""Edge-case tests: Sized RPC responses, thresholds, connection setup."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.common.units import MB
+from repro.simkit import rpc
+from repro.simkit.host import Fabric
+
+
+class NodeService:
+    def __init__(self, host):
+        self.host = host
+
+    def rpc_batch(self, caller, n):
+        yield self.host.env.timeout(0)
+        return rpc.Sized({"nodes": list(range(n))}, 72 * n)
+
+    def rpc_tiny_payload(self, caller):
+        yield self.host.env.timeout(0)
+        return Payload.zeros(16)  # below message threshold
+
+
+def setup():
+    fab = Fabric(seed=9)
+    a = fab.add_host("a")
+    b = fab.add_host("b")
+    rpc.bind(b, "svc", NodeService(b))
+    return fab, a, b
+
+
+def run(fab, gen):
+    return fab.run(fab.env.process(gen))
+
+
+class TestSized:
+    def test_value_unwrapped(self):
+        fab, a, b = setup()
+
+        def client():
+            out = yield from rpc.call(a, b, "svc", "batch", 3)
+            return out
+
+        assert run(fab, client()) == {"nodes": [0, 1, 2]}
+
+    def test_wire_size_charged(self):
+        fab, a, b = setup()
+
+        def client(n):
+            yield from rpc.call(a, b, "svc", "batch", n)
+
+        run(fab, client(100_000))  # 7.2 MB of metadata
+        assert fab.metrics.traffic["rpc-response"] >= 72 * 100_000
+
+    def test_big_sized_takes_transfer_time(self):
+        fab, a, b = setup()
+
+        def client():
+            t0 = fab.env.now
+            yield from rpc.call(a, b, "svc", "batch", 1_000_000)  # 72 MB
+            return fab.env.now - t0
+
+        t = run(fab, client())
+        assert t == pytest.approx(72e6 / (117.5 * MB), rel=0.05)
+
+
+class TestSmallPayloadResponse:
+    def test_rides_message_path(self):
+        fab, a, b = setup()
+
+        def client():
+            p = yield from rpc.call(a, b, "svc", "tiny_payload")
+            return p
+
+        p = run(fab, client())
+        assert p.size == 16
+        assert fab.network.active_flow_count == 0
+
+
+class TestConnectionSetup:
+    def test_first_contact_pays_setup_once(self):
+        fab, a, b = setup()
+        fab.connection_setup = 0.5
+
+        def client():
+            t0 = fab.env.now
+            yield from rpc.call(a, b, "svc", "tiny_payload")
+            first = fab.env.now - t0
+            t0 = fab.env.now
+            yield from rpc.call(a, b, "svc", "tiny_payload")
+            second = fab.env.now - t0
+            return first, second
+
+        first, second = run(fab, client())
+        assert first >= 0.5
+        assert second < 0.1
+        assert fab.metrics.counters["rpc-connect"] == 1
+
+    def test_distinct_pairs_pay_separately(self):
+        fab, a, b = setup()
+        c = fab.add_host("c")
+        fab.connection_setup = 0.5
+
+        def client(src):
+            yield from rpc.call(src, b, "svc", "tiny_payload")
+
+        run(fab, client(a))
+        run(fab, client(c))
+        assert fab.metrics.counters["rpc-connect"] == 2

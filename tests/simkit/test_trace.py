@@ -1,0 +1,65 @@
+"""Tests for the metrics sink."""
+
+import math
+
+from repro.simkit.trace import Metrics, SampleStats
+
+
+class TestSampleStats:
+    def test_empty(self):
+        s = SampleStats()
+        assert s.mean == 0.0
+        assert s.stdev == 0.0
+        assert s.count == 0
+
+    def test_moments(self):
+        s = SampleStats()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            s.add(v)
+        assert s.mean == 2.5
+        assert s.min_value == 1.0
+        assert s.max_value == 4.0
+        assert s.stdev == math.sqrt(1.25)
+
+    def test_single_sample_stdev_zero(self):
+        s = SampleStats()
+        s.add(7.0)
+        assert s.stdev == 0.0
+
+
+class TestMetrics:
+    def test_traffic_accumulates_by_kind(self):
+        m = Metrics()
+        m.add_traffic(100, "bulk")
+        m.add_traffic(50, "bulk")
+        m.add_traffic(7, "rpc")
+        assert m.traffic["bulk"] == 150
+        assert m.total_traffic() == 157
+
+    def test_samples_and_raw(self):
+        m = Metrics()
+        m.sample("boot", 1.0)
+        m.sample("boot", 3.0)
+        assert m.samples["boot"].mean == 2.0
+        assert m.raw["boot"] == [1.0, 3.0]
+
+    def test_counters(self):
+        m = Metrics()
+        m.count("rpc")
+        m.count("rpc", 4)
+        assert m.counters["rpc"] == 5
+
+    def test_timelines(self):
+        m = Metrics()
+        m.record("queue", 0.0, 1)
+        m.record("queue", 1.0, 2)
+        assert m.timelines["queue"] == [(0.0, 1), (1.0, 2)]
+
+    def test_summary_renders(self):
+        m = Metrics()
+        m.add_traffic(2**20, "bulk")
+        m.sample("boot", 1.5)
+        m.count("rpc", 3)
+        text = m.summary()
+        for token in ("bulk", "boot", "rpc", "1.0 MiB"):
+            assert token in text

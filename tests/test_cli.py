@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_deploy_defaults(self):
+        args = build_parser().parse_args(["deploy"])
+        assert args.approach == "mirror"
+        assert args.instances == 16
+
+    def test_invalid_approach_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deploy", "--approach", "bittorrent"])
+
+    def test_snapshot_rejects_prepropagation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["snapshot", "--approach", "prepropagation"])
+
+
+class TestCommands:
+    def test_deploy_runs_and_prints_metrics(self, capsys):
+        rc = main(
+            ["deploy", "--instances", "3", "--image-mib", "64",
+             "--touched-mib", "6", "--pool", "6"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "avg boot" in out
+        assert "network traffic" in out
+
+    @pytest.mark.parametrize("approach", ["mirror", "qcow2-pvfs"])
+    def test_snapshot_runs(self, capsys, approach):
+        rc = main(
+            ["snapshot", "--instances", "2", "--image-mib", "64",
+             "--touched-mib", "4", "--diff-mib", "2", "--pool", "6",
+             "--approach", approach]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bytes persisted" in out
+
+    def test_bonnie_runs(self, capsys):
+        rc = main(["bonnie", "--image-mib", "64", "--working-mib", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "BlockW" in out and "RndSeek" in out
+
+    def test_info_prints_calibration(self, capsys):
+        rc = main(["info"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nic_bandwidth" in out
+        assert "chunk_size" in out
