@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-quick examples clean
+.PHONY: install test bench bench-quick perf examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,9 @@ bench:           ## full paper-profile figure reproduction (~25 min)
 
 bench-quick:     ## scaled-down smoke of every figure (~40 s)
 	REPRO_BENCH_PROFILE=quick pytest benchmarks/ --benchmark-only
+
+perf:            ## simulator throughput gate vs BENCH_simkit.json (~15 s)
+	PYTHONPATH=src python benchmarks/bench_simperf.py
 
 examples:
 	python examples/quickstart.py

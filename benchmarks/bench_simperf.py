@@ -1,0 +1,203 @@
+"""Tracked performance harness for the simulator fast path.
+
+Measures the wall time and event throughput of the two paper workloads the
+engine optimizations target, on the ``quick`` profile:
+
+* **fig4** — the multideployment sweep (deploy 1/8/16/24 instances with the
+  mirror approach, fresh cloud per point);
+* **fig5** — the multisnapshotting point (deploy the full pool, apply diffs,
+  snapshot everything).
+
+Results are tracked in ``BENCH_simkit.json`` at the repository root:
+
+* ``seed_baseline`` — the same measurement taken at the pre-fast-path commit
+  (per-flow timer wakeups, full fair-share recomputation). Kept as a static
+  record of what the optimization bought.
+* ``current`` — the committed measurement for the present tree.
+
+Running this module as a script re-measures and **gates**: it exits non-zero
+if the fresh events/sec falls more than ``REGRESSION_TOLERANCE`` below the
+committed ``current`` numbers (wall time is too noisy on shared machines to
+gate on directly; events/sec over best-of-N runs is steadier, and the event
+count itself is deterministic). ``--update`` rewrites the committed file.
+
+Usage::
+
+    make perf                                   # measure + regression gate
+    PYTHONPATH=src python benchmarks/bench_simperf.py --update
+
+Each measurement is best-of-N (default 3): scheduler noise only ever adds
+time, so the minimum is the most stable estimator of the code's cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_simkit.json"
+
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from common import QUICK, apply_diffs, build_point_cloud  # noqa: E402
+
+from repro.cloud import deploy, snapshot_all  # noqa: E402
+
+#: allowed fractional drop in events/sec before the gate fails (satellite
+#: requirement: >20% regression vs the committed baseline fails `make perf`)
+REGRESSION_TOLERANCE = 0.20
+
+#: default best-of-N repetitions per workload
+DEFAULT_REPEATS = 3
+
+#: deployment seed — fixed so the simulated workload (and its event count)
+#: is identical across runs and machines
+SEED = 1
+
+
+# --------------------------------------------------------------------------- #
+# workloads
+# --------------------------------------------------------------------------- #
+def run_fig4_sweep(counts=None) -> int:
+    """The fig4 quick sweep; returns total processed events."""
+    events = 0
+    for n in counts or QUICK.instance_counts:
+        cloud, image = build_point_cloud(QUICK, SEED)
+        deploy(cloud, image, n, "mirror")
+        events += cloud.env.event_count
+    return events
+
+
+def run_fig5_point(n=None) -> int:
+    """The fig5 deploy+diff+snapshot point; returns total processed events."""
+    cloud, image = build_point_cloud(QUICK, SEED)
+    result = deploy(cloud, image, n or QUICK.instance_counts[-1], "mirror")
+    apply_diffs(cloud, image, result.vms, QUICK.diff_bytes)
+    snapshot_all(cloud, result.vms, "mirror")
+    return cloud.env.event_count
+
+
+def _best_of(workload, repeats: int) -> dict:
+    walls = []
+    events = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        events = workload()
+        walls.append(time.perf_counter() - t0)
+    wall = min(walls)
+    return {
+        "wall_s": round(wall, 3),
+        "events": events,
+        "events_per_s": round(events / wall),
+    }
+
+
+def measure(repeats: int = DEFAULT_REPEATS, counts=None) -> dict:
+    """Measure both workloads; ``counts`` restricts the fig4 sweep (smoke)."""
+    out = {"fig4": _best_of(lambda: run_fig4_sweep(counts), repeats)}
+    if counts is None:
+        out["fig5"] = _best_of(run_fig5_point, repeats)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# tracked file + gate
+# --------------------------------------------------------------------------- #
+def load_committed() -> dict:
+    with open(BENCH_PATH) as fh:
+        return json.load(fh)
+
+
+def check_regression(fresh: dict, committed: dict) -> list:
+    """Return a list of human-readable failures (empty = gate passes)."""
+    failures = []
+    for fig, now in fresh.items():
+        base = committed.get("current", {}).get(fig)
+        if base is None:
+            continue
+        floor = base["events_per_s"] * (1.0 - REGRESSION_TOLERANCE)
+        if now["events_per_s"] < floor:
+            failures.append(
+                f"{fig}: {now['events_per_s']} events/s is more than "
+                f"{REGRESSION_TOLERANCE:.0%} below the committed "
+                f"{base['events_per_s']} events/s"
+            )
+        if now["events"] != base["events"]:
+            failures.append(
+                f"{fig}: event count {now['events']} != committed "
+                f"{base['events']} (the simulated workload changed; rerun "
+                "with --update if intentional)"
+            )
+    return failures
+
+
+def _speedups(committed: dict) -> dict:
+    out = {}
+    seed = committed.get("seed_baseline", {})
+    cur = committed.get("current", {})
+    for fig in cur:
+        if fig in seed:
+            out[f"{fig}_wall_speedup"] = round(
+                seed[fig]["wall_s"] / cur[fig]["wall_s"], 2
+            )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite BENCH_simkit.json's 'current' section with this run",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS, help="best-of-N runs"
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {args.repeats}")
+
+    fresh = measure(repeats=args.repeats)
+    committed = load_committed() if BENCH_PATH.exists() else {}
+
+    for fig, row in fresh.items():
+        print(
+            f"{fig}: {row['wall_s']:.3f}s wall, {row['events']} events, "
+            f"{row['events_per_s']} events/s"
+        )
+
+    if args.update:
+        committed.setdefault("profile", "quick")
+        committed.setdefault("seed_baseline", {})
+        committed["current"] = fresh
+        committed["improvement"] = _speedups(committed)
+        with open(BENCH_PATH, "w") as fh:
+            json.dump(committed, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"updated {BENCH_PATH}")
+        return 0
+
+    if not committed:
+        print(f"no committed baseline at {BENCH_PATH}; run with --update first")
+        return 1
+    failures = check_regression(fresh, committed)
+    if failures:
+        for f in failures:
+            print(f"PERF REGRESSION: {f}", file=sys.stderr)
+        return 1
+    imp = _speedups(committed)
+    if imp:
+        print("committed speedups vs seed baseline:", json.dumps(imp))
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

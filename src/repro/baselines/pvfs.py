@@ -228,7 +228,7 @@ class PvfsClient:
         self._meta_cache: Dict[str, PvfsFileMeta] = {}
 
     def _parallel(self, gens) -> Generator:
-        procs = [self.host.env.process(g) for g in gens]
+        procs = self.host.env.process_batch(gens)
         results = yield self.host.env.all_of(procs)
         return results
 

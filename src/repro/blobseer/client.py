@@ -46,7 +46,12 @@ class BlobClient:
     # helpers
     # ------------------------------------------------------------------ #
     def _parallel(self, gens: Sequence) -> List:
-        procs = [self.host.env.process(g) for g in gens]
+        if len(gens) == 1:
+            # Overwhelmingly common (single shard / single provider): run
+            # inline instead of paying a Process bootstrap + AllOf per fetch.
+            result = yield from gens[0]
+            return [result]
+        procs = self.host.env.process_batch(gens)
         results = yield self.host.env.all_of(procs)
         return results
 
@@ -62,8 +67,14 @@ class BlobClient:
         return rec
 
     def _get_nodes(self, ids: Sequence[NodeId]):
-        """Fetch tree nodes into the client cache, batched per metadata shard."""
-        missing = [nid for nid in ids if nid not in self._node_cache]
+        """Fetch tree nodes into the client cache, batched per metadata shard.
+
+        Returns the cache dict itself (a superset of ``ids``) rather than
+        building a per-call subset: callers only index by the ids they asked
+        for, and tree nodes are immutable once published.
+        """
+        cache = self._node_cache
+        missing = [nid for nid in ids if nid not in cache]
         if missing:
             by_shard: Dict[Host, List[NodeId]] = {}
             for nid in missing:
@@ -74,27 +85,41 @@ class BlobClient:
             ]
             batches = yield from self._parallel(fetches)
             for batch in batches:
-                self._node_cache.update(batch)
-        return {nid: self._node_cache[nid] for nid in ids}
+                cache.update(batch)
+        return cache
 
     def _refs_for_range(self, root: Optional[NodeId], c_lo: int, c_hi: int):
-        """Traverse the segment tree level by level, fetching nodes in batches."""
+        """Traverse the segment tree level by level, fetching nodes in batches.
+
+        The cache is consulted inline: after warmup most traversals are fully
+        cached and the loop runs without delegating to the fetch generator.
+        """
         refs: Dict[int, ChunkRef] = {}
         frontier: List[NodeId] = [root] if root is not None else []
+        cache = self._node_cache
         while frontier:
-            nodes = yield from self._get_nodes(frontier)
+            missing = [nid for nid in frontier if nid not in cache]
+            if missing:
+                yield from self._get_nodes(missing)
             next_frontier: List[NodeId] = []
             for nid in frontier:
-                node = nodes[nid]
-                if node.hi <= c_lo or node.lo >= c_hi:
+                node = cache[nid]
+                lo = node.lo
+                if node.hi <= c_lo or lo >= c_hi:
                     continue
-                if node.is_leaf:
-                    if node.ref is not None:
-                        refs[node.lo] = node.ref
+                # A populated leaf always carries a ref; interior (and hole)
+                # nodes never do, and their child slots are None — so the
+                # ref test replaces the is_leaf property call per node.
+                ref = node.ref
+                if ref is not None:
+                    refs[lo] = ref
                     continue
-                for child in (node.left, node.right):
-                    if child is not None:
-                        next_frontier.append(child)
+                left = node.left
+                if left is not None:
+                    next_frontier.append(left)
+                right = node.right
+                if right is not None:
+                    next_frontier.append(right)
             frontier = next_frontier
         return refs
 

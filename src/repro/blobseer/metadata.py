@@ -27,6 +27,7 @@ covering the chunk count; absent subtrees denote unwritten (hole) regions.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -36,7 +37,7 @@ from ..common.errors import SimulationError
 NodeId = int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChunkRef:
     """Location record for one stored chunk: where its bytes live.
 
@@ -50,7 +51,7 @@ class ChunkRef:
     size: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TreeNode:
     """An immutable segment-tree node covering chunk indices ``[lo, hi)``."""
 
@@ -119,23 +120,30 @@ def build_tree(store: MetadataStore, refs: Dict[int, ChunkRef], n_chunks: int) -
     Returns the root id, or None for an entirely empty blob.
     """
     cap = capacity_for(n_chunks)
-    return _build(store, refs, 0, cap)
+    keys = sorted(refs)
+    return _build(store, refs, keys, 0, len(keys), 0, cap)
 
 
 def _build(
-    store: MetadataStore, refs: Dict[int, ChunkRef], lo: int, hi: int
+    store: MetadataStore,
+    refs: Dict[int, ChunkRef],
+    keys: List[int],
+    klo: int,
+    khi: int,
+    lo: int,
+    hi: int,
 ) -> Optional[NodeId]:
-    if hi - lo == 1:
-        ref = refs.get(lo)
-        if ref is None:
-            return None
-        return store.put(TreeNode(lo, hi, None, None, ref))
-    # Skip empty subtrees wholesale (cheap check for the common sparse case).
-    if not any(lo <= idx < hi for idx in refs):
+    # ``keys[klo:khi]`` are the sorted ref indices inside ``[lo, hi)``: the
+    # recursion splits index ranges by bisection instead of copying dicts,
+    # so a dense n-chunk build is O(n log n) comparisons and zero rebuilds.
+    if klo == khi:
         return None
+    if hi - lo == 1:
+        return store.put(TreeNode(lo, hi, None, None, refs[lo]))
     mid = (lo + hi) // 2
-    left = _build(store, {k: v for k, v in refs.items() if k < mid}, lo, mid)
-    right = _build(store, {k: v for k, v in refs.items() if k >= mid}, mid, hi)
+    split = bisect_left(keys, mid, klo, khi)
+    left = _build(store, refs, keys, klo, split, lo, mid)
+    right = _build(store, refs, keys, split, khi, mid, hi)
     if left is None and right is None:
         return None
     return store.put(TreeNode(lo, hi, left, right, None))
@@ -162,29 +170,30 @@ def write_chunks(
                 f"root covers [{node.lo},{node.hi}), expected [0,{cap}) "
                 "(blob resizing is not supported)"
             )
-    return _write(store, root, updates, 0, cap)
+    keys = sorted(updates)
+    return _write(store, root, updates, keys, 0, len(keys), 0, cap)
 
 
 def _write(
     store: MetadataStore,
     nid: Optional[NodeId],
     updates: Dict[int, ChunkRef],
+    keys: List[int],
+    klo: int,
+    khi: int,
     lo: int,
     hi: int,
 ) -> Optional[NodeId]:
-    if not updates:
+    # Same index-range bisection as _build: no per-level dict filtering.
+    if klo == khi:
         return nid
     if hi - lo == 1:
-        ref = updates.get(lo)
-        if ref is None:
-            return nid
-        return store.put(TreeNode(lo, hi, None, None, ref))
+        return store.put(TreeNode(lo, hi, None, None, updates[lo]))
     mid = (lo + hi) // 2
     node = store.get(nid) if nid is not None else None
-    left_updates = {k: v for k, v in updates.items() if lo <= k < mid}
-    right_updates = {k: v for k, v in updates.items() if mid <= k < hi}
-    left = _write(store, node.left if node else None, left_updates, lo, mid)
-    right = _write(store, node.right if node else None, right_updates, mid, hi)
+    split = bisect_left(keys, mid, klo, khi)
+    left = _write(store, node.left if node else None, updates, keys, klo, split, lo, mid)
+    right = _write(store, node.right if node else None, updates, keys, split, khi, mid, hi)
     if node is not None and left == node.left and right == node.right:
         return nid  # nothing changed in this subtree
     if left is None and right is None:

@@ -53,6 +53,22 @@ class PlacementPolicy:
                 f"replication {replication} impossible with {len(self.providers)} providers"
             )
         out: List[Tuple[str, ...]] = []
+        if self.strategy == "round-robin" and replication == 1:
+            # Hot case (the eval uploads stripe thousands of chunks with
+            # replication 1): same output as the generic loop below.
+            providers = self.providers
+            n = len(providers)
+            cursor = self._cursor
+            load = self.load_bytes
+            for _ in range(n_chunks):
+                p = providers[cursor]
+                cursor += 1
+                if cursor == n:
+                    cursor = 0
+                load[p] += chunk_size
+                out.append((p,))
+            self._cursor = cursor
+            return out
         for _ in range(n_chunks):
             if self.strategy == "round-robin":
                 picks = [

@@ -26,8 +26,10 @@ from ..calibration import ServiceModel
 from ..common.errors import ChunkNotFoundError
 from ..common.payload import Payload
 from ..common.units import MiB
+from ..simkit.core import Timeout
 from ..simkit.host import Host
 from ..simkit.resources import Container, Resource
+from ..simkit.rpc import Sized
 from .metadata import MetadataStore, NodeId, TreeNode
 from .store import ChunkStore
 from .vmanager import BlobRegistry, SnapshotRecord
@@ -75,7 +77,7 @@ class DataProviderService:
         parts: List[Payload] = []
         for item in keys:
             key, lo, hi = item if isinstance(item, tuple) else (item, None, None)
-            yield env.timeout(self.model.chunk_request_overhead)
+            yield Timeout(env, self.model.chunk_request_overhead)
             payload = self.store.get(key)
             if key not in self.ram:
                 nbytes = payload.size if lo is None else hi - lo
@@ -84,7 +86,7 @@ class DataProviderService:
                 if self.cache_chunks:
                     self.ram.add(key)
             parts.append(payload if lo is None else payload.slice(lo, hi))
-        self.host.fabric.metrics.count("chunk-get", len(keys))
+        self.host.fabric.metrics.counters["chunk-get"] += len(keys)
         return Payload.concat(parts)
 
     def rpc_put_chunks(self, caller: Host, items: Sequence[Tuple[int, Payload]]):
@@ -92,11 +94,11 @@ class DataProviderService:
         env = self.host.env
         total = sum(p.size for _, p in items)
         for key, payload in items:
-            yield env.timeout(self.model.chunk_request_overhead)
+            yield Timeout(env, self.model.chunk_request_overhead)
             self.store.put(key, payload)
             if self.cache_chunks:
                 self.ram.add(key)
-        self.host.fabric.metrics.count("chunk-put", len(items))
+        self.host.fabric.metrics.counters["chunk-put"] += len(items)
         if self.async_ack:
             # Reserve RAM buffer (throttles when the flusher lags), ack,
             # commit to disk in the background.
@@ -140,24 +142,23 @@ class MetadataProviderService:
 
     def rpc_get_nodes(self, caller: Host, ids: Sequence[NodeId]):
         env = self.host.env
-        yield env.timeout(self.model.metadata_node_overhead * len(ids))
+        yield Timeout(env, self.model.metadata_node_overhead * len(ids))
+        nodes = self.nodes
         out: Dict[NodeId, TreeNode] = {}
-        for nid in ids:
-            node = self.nodes.get(nid)
-            if node is None:
-                raise ChunkNotFoundError(f"metadata shard {self.host.name}: node {nid}")
-            out[nid] = node
-        self.host.fabric.metrics.count("meta-get", len(ids))
+        try:
+            for nid in ids:
+                out[nid] = nodes[nid]
+        except KeyError:
+            raise ChunkNotFoundError(f"metadata shard {self.host.name}: node {nid}")
+        self.host.fabric.metrics.counters["meta-get"] += len(ids)
         # Wire-size the batch so big metadata fetches cost transfer time.
-        from ..simkit.rpc import Sized
-
         return Sized(out, NODE_WIRE_BYTES * len(ids))
 
     def rpc_put_nodes(self, caller: Host, nodes: Dict[NodeId, TreeNode]):
         env = self.host.env
-        yield env.timeout(self.model.metadata_node_overhead * len(nodes))
+        yield Timeout(env, self.model.metadata_node_overhead * len(nodes))
         self.nodes.update(nodes)
-        self.host.fabric.metrics.count("meta-put", len(nodes))
+        self.host.fabric.metrics.counters["meta-put"] += len(nodes)
         return None
 
 

@@ -135,7 +135,7 @@ def deploy(
             def create_one(node):
                 yield cloud.env.timeout(cloud.calib.service.qcow2_create_overhead)
 
-            procs = [cloud.env.process(create_one(n)) for n in nodes]
+            procs = cloud.env.process_batch(create_one(n) for n in nodes)
             yield cloud.env.all_of(procs)
         result.init_time = cloud.env.now - t_start
 

@@ -14,7 +14,7 @@ brute-force bitmap model.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator, List, Tuple
 
 Interval = Tuple[int, int]
@@ -63,16 +63,26 @@ class IntervalSet:
         """Delete ``[lo, hi)`` from the set (splitting intervals as needed)."""
         if lo >= hi or not self._ivs:
             return
-        out: List[Interval] = []
-        for a, b in self._ivs:
-            if b <= lo or a >= hi:
-                out.append((a, b))
-                continue
-            if a < lo:
-                out.append((a, lo))
-            if b > hi:
-                out.append((hi, b))
-        self._ivs = out
+        ivs = self._ivs
+        i, j = self._overlap_window(lo, hi)
+        if i == j:
+            return
+        repl: List[Interval] = []
+        a0, _ = ivs[i]
+        if a0 < lo:
+            repl.append((a0, lo))
+        _, b1 = ivs[j - 1]
+        if b1 > hi:
+            repl.append((hi, b1))
+        ivs[i:j] = repl
+
+    def _overlap_window(self, lo: int, hi: int) -> Tuple[int, int]:
+        """Index range ``[i, j)`` of intervals overlapping ``[lo, hi)``."""
+        ivs = self._ivs
+        k = bisect_left(ivs, (lo,))
+        i = k - 1 if k > 0 and ivs[k - 1][1] > lo else k
+        j = bisect_left(ivs, (hi,), i)
+        return i, j
 
     def clear(self) -> None:
         self._ivs.clear()
@@ -98,17 +108,21 @@ class IntervalSet:
         return i < len(self._ivs) and self._ivs[i][0] < hi
 
     def gaps(self, lo: int, hi: int) -> List[Interval]:
-        """Sub-intervals of ``[lo, hi)`` *not* covered by the set, in order."""
+        """Sub-intervals of ``[lo, hi)`` *not* covered by the set, in order.
+
+        Bisects to the first overlapping interval, so the cost is
+        proportional to the overlap count, not the set size.
+        """
         out: List[Interval] = []
+        if lo >= hi:
+            return out
+        i, j = self._overlap_window(lo, hi)
         cursor = lo
-        for a, b in self._ivs:
-            if b <= lo:
-                continue
-            if a >= hi:
-                break
+        for a, b in self._ivs[i:j]:
             if a > cursor:
-                out.append((cursor, min(a, hi)))
-            cursor = max(cursor, b)
+                out.append((cursor, a))
+            if b > cursor:
+                cursor = b
             if cursor >= hi:
                 break
         if cursor < hi:
@@ -118,12 +132,14 @@ class IntervalSet:
     def intersect(self, lo: int, hi: int) -> List[Interval]:
         """Sub-intervals of ``[lo, hi)`` covered by the set, in order."""
         out: List[Interval] = []
-        for a, b in self._ivs:
-            c_lo, c_hi = clamp(a, b, lo, hi)
+        if lo >= hi:
+            return out
+        i, j = self._overlap_window(lo, hi)
+        for a, b in self._ivs[i:j]:
+            c_lo = a if a > lo else lo
+            c_hi = b if b < hi else hi
             if c_lo < c_hi:
                 out.append((c_lo, c_hi))
-            if a >= hi:
-                break
         return out
 
     def total(self) -> int:

@@ -28,6 +28,7 @@ chunk stores.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple, Union
 
@@ -46,6 +47,8 @@ class BytesAtom:
         return len(self.data)
 
     def window(self, lo: int, hi: int) -> "BytesAtom":
+        if lo == 0 and hi == len(self.data):
+            return self  # whole-atom window: no byte copy (atoms are immutable)
         return BytesAtom(self.data[lo:hi])
 
 
@@ -117,6 +120,19 @@ class Payload:
         self._size = sum(a.size for a in self._atoms)
 
     # ---- constructors ---------------------------------------------------- #
+    @classmethod
+    def _from_normalized(cls, atoms: Iterable[Atom], size: int) -> "Payload":
+        """Build a payload from an already-normalized atom run (no re-merge).
+
+        Used by :meth:`slice`: windows of a normalized sequence stay
+        normalized (trimming an atom cannot make it mergeable with an
+        interior neighbour), so the O(atoms) normalization pass is skipped.
+        """
+        p = object.__new__(cls)
+        p._atoms = tuple(atoms)
+        p._size = size
+        return p
+
     @staticmethod
     def from_bytes(data: bytes) -> "Payload":
         return Payload([BytesAtom(bytes(data))])
@@ -131,6 +147,8 @@ class Payload:
 
     @staticmethod
     def concat(parts: Sequence["Payload"]) -> "Payload":
+        if len(parts) == 1:
+            return parts[0]  # immutable, so share it
         atoms: List[Atom] = []
         for part in parts:
             atoms.extend(part._atoms)
@@ -168,6 +186,13 @@ class Payload:
         """Return the payload window ``[lo, hi)``; bounds must be in range."""
         if lo < 0 or hi > self._size or lo > hi:
             raise OutOfRangeError(f"slice [{lo},{hi}) of payload size {self._size}")
+        if lo == 0 and hi == self._size:
+            return self  # whole-payload slice: immutable, so share it
+        atoms = self._atoms
+        if len(atoms) == 1:
+            # Single-atom payloads (one opaque chunk, one zero run) dominate
+            # the fetch paths; window them without the scan below.
+            return Payload._from_normalized((atoms[0].window(lo, hi),), hi - lo)
         out: List[Atom] = []
         cursor = 0
         for atom in self._atoms:
@@ -178,7 +203,7 @@ class Payload:
             cursor = a_hi
             if cursor >= hi:
                 break
-        return Payload(out)
+        return Payload._from_normalized(out, hi - lo)
 
     def __getitem__(self, key: slice) -> "Payload":
         if not isinstance(key, slice) or key.step not in (None, 1):
@@ -241,45 +266,51 @@ class SparseFile:
                 raise OutOfRangeError("base payload size mismatch")
             self._segments.append((0, size, base))
 
+    def _overlap_window(self, lo: int, hi: int) -> Tuple[int, int]:
+        """Index range ``[i, j)`` of segments overlapping ``[lo, hi)``.
+
+        Comparison probes like ``(lo,)`` sort strictly before any segment
+        triple sharing the same start, so payloads are never compared.
+        """
+        segments = self._segments
+        k = bisect_left(segments, (lo,))
+        i = k - 1 if k > 0 and segments[k - 1][1] > lo else k
+        j = bisect_left(segments, (hi,), i)
+        return i, j
+
     def write(self, offset: int, payload: Payload) -> None:
         lo, hi = offset, offset + payload.size
         if lo < 0 or hi > self.size:
             raise OutOfRangeError(f"write [{lo},{hi}) beyond size {self.size}")
         if lo == hi:
             return
-        out: List[Tuple[int, int, Payload]] = []
-        inserted = False
-        for s_lo, s_hi, s_pl in self._segments:
-            if s_hi <= lo or s_lo >= hi:
-                if not inserted and s_lo >= hi:
-                    out.append((lo, hi, payload))
-                    inserted = True
-                out.append((s_lo, s_hi, s_pl))
-                continue
-            # Overlap: keep non-overlapping flanks of the existing segment.
+        # Bisect to the overlapped segment window and splice in place rather
+        # than rebuilding the whole segment list per write.
+        segments = self._segments
+        i, j = self._overlap_window(lo, hi)
+        repl: List[Tuple[int, int, Payload]] = []
+        if i < j:
+            s_lo, s_hi, s_pl = segments[i]
             if s_lo < lo:
-                out.append((s_lo, lo, s_pl.slice(0, lo - s_lo)))
-            if not inserted:
-                out.append((lo, hi, payload))
-                inserted = True
+                repl.append((s_lo, lo, s_pl.slice(0, lo - s_lo)))
+        repl.append((lo, hi, payload))
+        if i < j:
+            s_lo, s_hi, s_pl = segments[j - 1]
             if s_hi > hi:
-                out.append((hi, s_hi, s_pl.slice(hi - s_lo, s_hi - s_lo)))
-        if not inserted:
-            out.append((lo, hi, payload))
-            out.sort(key=lambda t: t[0])
-        self._segments = out
+                repl.append((hi, s_hi, s_pl.slice(hi - s_lo, s_hi - s_lo)))
+        segments[i:j] = repl
 
     def read(self, offset: int, nbytes: int) -> Payload:
         lo, hi = offset, offset + nbytes
         if lo < 0 or hi > self.size:
             raise OutOfRangeError(f"read [{lo},{hi}) beyond size {self.size}")
+        segments = self._segments
+        i, j = self._overlap_window(lo, hi)
+        if i == j:
+            return Payload.zeros(hi - lo) if hi > lo else EMPTY
         parts: List[Payload] = []
         cursor = lo
-        for s_lo, s_hi, s_pl in self._segments:
-            if s_hi <= lo:
-                continue
-            if s_lo >= hi:
-                break
+        for s_lo, s_hi, s_pl in segments[i:j]:
             if s_lo > cursor:
                 parts.append(Payload.zeros(s_lo - cursor))
                 cursor = s_lo

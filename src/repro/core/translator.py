@@ -122,15 +122,16 @@ class RWTranslator:
         lo, hi = offset, offset + nbytes
         if self.full_chunk_prefetch:
             plan = self.modmgr.plan_read(lo, hi)
+            counters = self._metrics.counters
             if not plan.is_local:
-                self._metrics.count("mirror-remote-read")
-                self._metrics.count("mirror-chunks-fetched", len(plan.fetch_chunks))
+                counters["mirror-remote-read"] += 1
+                counters["mirror-chunks-fetched"] += len(plan.fetch_chunks)
                 chunks = yield from self._fetch_chunk_set(plan.fetch_chunks)
                 yield from self._apply_gaps(chunks, plan.fill_gaps)
                 for idx in plan.fetch_chunks:
                     self.modmgr.record_fetch(idx)
             else:
-                self._metrics.count("mirror-local-read")
+                counters["mirror-local-read"] += 1
         else:
             gaps = self.modmgr.plan_read_exact(lo, hi)
             if gaps:

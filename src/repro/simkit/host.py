@@ -40,6 +40,10 @@ class Fabric:
         self.rng = RngStreams(seed)
         self.nic_bandwidth = nic_bandwidth
         self.hosts: Dict[str, Host] = {}
+        #: per-pair TCP/service handshake cost charged on first contact
+        #: (0 keeps unit tests exact; the calibrated clouds set it)
+        self.connection_setup: float = 0.0
+        self._rpc_conn_pairs: set = set()
 
     def add_host(
         self,
@@ -84,6 +88,8 @@ class Host:
         self.files: Dict[str, SparseFile] = {}
         #: RPC services bound on this host (service name -> object)
         self.services: Dict[str, object] = {}
+        #: memoized (service, method) -> bound handler, filled by rpc.call
+        self._rpc_cache: Dict[tuple, object] = {}
 
     # ------------------------------------------------------------------ #
     # local file system (content plane; callers add disk timing explicitly)

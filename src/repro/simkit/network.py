@@ -18,8 +18,18 @@ Two fairness disciplines are provided:
 
 ``"maxmin"``
     exact max-min fairness via progressive filling, recomputed globally on
-    every flow arrival/departure. O(links x flows) per recompute — used in
-    tests and small topologies to bound the error of the fast mode.
+    every flow arrival/departure. Heap-driven water filling, O(F log L) per
+    recompute — used in tests and small topologies to bound the error of the
+    fast mode.
+
+**Completion wakeups** use a single earliest-ETA sentinel event per network
+rather than one timer per flow per rebalance: every rate change pushes the
+flow's new absolute completion time onto a lazily-invalidated heap (a
+per-flow generation counter marks stale entries), and at most one pending
+sentinel timer tracks the heap head. A rebalance therefore schedules O(1)
+timers instead of O(affected flows), and flows whose fair share did not
+change are not touched at all (their linear progress makes deferring the
+bookkeeping exact). See DESIGN.md §"Performance model & profiling".
 
 Small control messages (below :attr:`FlowNetwork.message_threshold`) bypass
 the fluid model and pay ``latency + size/capacity + per_message_overhead``;
@@ -28,10 +38,11 @@ their bytes still land in the traffic accounting.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from heapq import heapify, heappop, heappush
+from typing import Dict, List, Optional, Tuple
 
 from ..common.units import MB, MILLISECONDS
-from .core import Environment, Event
+from .core import Environment, Event, Timeout
 from .trace import Metrics
 
 
@@ -41,9 +52,22 @@ class Nic:
     Flow collections are insertion-ordered dicts (used as ordered sets):
     iteration order must be deterministic across runs, or float accumulation
     and event tie-breaking would depend on object memory addresses.
+
+    ``up_share`` / ``down_share`` cache the current equal-share level
+    (``capacity / max(1, n_flows)``); :class:`FlowNetwork` maintains them on
+    every flow arrival and departure so a rebalance reads shares in O(1)
+    instead of recounting flows.
     """
 
-    __slots__ = ("name", "up_capacity", "down_capacity", "up_flows", "down_flows")
+    __slots__ = (
+        "name",
+        "up_capacity",
+        "down_capacity",
+        "up_flows",
+        "down_flows",
+        "up_share",
+        "down_share",
+    )
 
     def __init__(self, name: str, up_capacity: float, down_capacity: float | None = None):
         self.name = name
@@ -51,15 +75,34 @@ class Nic:
         self.down_capacity = float(down_capacity if down_capacity is not None else up_capacity)
         self.up_flows: Dict[Flow, None] = {}
         self.down_flows: Dict[Flow, None] = {}
+        self.up_share = self.up_capacity
+        self.down_share = self.down_capacity
 
     def __repr__(self) -> str:
         return f"Nic({self.name}, up={self.up_capacity / MB:.1f}MB/s)"
 
 
 class Flow:
-    """A bulk transfer in flight. Internal to :class:`FlowNetwork`."""
+    """A bulk transfer in flight. Internal to :class:`FlowNetwork`.
 
-    __slots__ = ("src", "dst", "size", "remaining", "rate", "t_last", "done", "wake_seq", "kind")
+    ``wake_seq`` is the flow's generation counter: it is bumped on every rate
+    change (and on completion), which lazily invalidates any completion-heap
+    entries pushed under earlier generations. ``ctime`` is the absolute
+    simulated time at which the flow completes under its current rate.
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "size",
+        "remaining",
+        "rate",
+        "t_last",
+        "ctime",
+        "done",
+        "wake_seq",
+        "kind",
+    )
 
     def __init__(self, src: Nic, dst: Nic, size: float, done: Event, kind: str):
         self.src = src
@@ -68,6 +111,7 @@ class Flow:
         self.remaining = float(size)
         self.rate = 0.0
         self.t_last = 0.0
+        self.ctime = 0.0
         self.done = done
         self.wake_seq = 0
         self.kind = kind
@@ -97,6 +141,15 @@ class FlowNetwork:
         self.message_header_bytes = message_header_bytes
         self._nics: Dict[str, Nic] = {}
         self._flows: Dict[Flow, None] = {}
+        #: min-heap of (completion time, push tie-breaker, flow generation,
+        #: flow); entries whose generation no longer matches the flow's
+        #: ``wake_seq`` are stale and dropped lazily.
+        self._completions: List[Tuple[float, int, int, Flow]] = []
+        self._push_seq = 0
+        #: generation of the currently armed sentinel timer (stale timers
+        #: no-op on fire) and the absolute time it targets (None = no timer).
+        self._sentinel_gen = 0
+        self._sentinel_time: float | None = None
 
     # ------------------------------------------------------------------ #
     # topology
@@ -120,20 +173,28 @@ class FlowNetwork:
     # ------------------------------------------------------------------ #
     def transfer(self, src: Nic, dst: Nic, nbytes: int, kind: str = "bulk") -> Event:
         """Start a bulk transfer; the event fires when the last byte lands."""
-        done = Event(self.env)
         if src is dst:
             # Loopback: no NIC constraint; charge memory-copy-ish zero time.
             self.metrics.add_traffic(0, kind)  # loopback does not hit the wire
+            done = Event(self.env)
             done.succeed()
             return done
         if nbytes <= self.message_threshold:
-            return self.message(src, dst, nbytes, kind=kind, done=done)
+            # message() returns a pre-scheduled Timeout — identical to an
+            # Event fired via schedule_at, minus the extra allocation.
+            return self.message(src, dst, nbytes, kind=kind)
+        done = Event(self.env)
         flow = Flow(src, dst, nbytes, done, kind)
         flow.t_last = self.env.now
         self._flows[flow] = None
         src.up_flows[flow] = None
+        src.up_share = src.up_capacity / len(src.up_flows)
         dst.down_flows[flow] = None
-        self._rebalance([src, dst] if self.fairness == "equal-share" else None)
+        dst.down_share = dst.down_capacity / len(dst.down_flows)
+        if self.fairness == "equal-share":
+            self._rebalance_pair(src, dst)
+        else:
+            self._rebalance_global()
         return done
 
     def message(
@@ -145,132 +206,214 @@ class FlowNetwork:
         done: Event | None = None,
     ) -> Event:
         """A small control message: latency + serialization, no fair sharing."""
-        if done is None:
-            done = Event(self.env)
+        env = self.env
         wire_bytes = nbytes + self.message_header_bytes
         if src is dst:
             delay = self.per_message_overhead
         else:
+            up = src.up_capacity
+            down = dst.down_capacity
             delay = (
                 self.latency
                 + self.per_message_overhead
-                + wire_bytes / min(src.up_capacity, dst.down_capacity)
+                + wire_bytes / (up if up < down else down)
             )
-            self.metrics.add_traffic(wire_bytes, kind)
-
-        def fire(_ev: Event, done=done) -> None:
-            done.succeed()
-
-        timer = self.env.timeout(delay)
-        assert timer.callbacks is not None
-        timer.callbacks.append(fire)
+            self.metrics.traffic[kind] += wire_bytes
+        if done is None:
+            # A Timeout *is* an event pre-scheduled at now+delay: one
+            # flattened constructor instead of Event + schedule_at.
+            return Timeout(env, delay)
+        # Caller-supplied completion event: fire it directly at delivery time.
+        env.schedule_at(done, env.now + delay)
         return done
 
     # ------------------------------------------------------------------ #
     # rate maintenance
     # ------------------------------------------------------------------ #
-    def _affected_flows(self, nics) -> List[Flow]:
-        if nics is None:
-            return list(self._flows)
-        out: Dict[Flow, None] = {}
-        for nic in nics:
-            out.update(nic.up_flows)
-            out.update(nic.down_flows)
-        return list(out)
+    def _set_rate(self, flow: Flow, new_rate: float, now: float) -> None:
+        """Apply a rate change: advance progress, bump generation, push ETA.
 
-    def _rebalance(self, touched) -> None:
-        """Re-derive flow rates after an arrival/departure and reschedule wakeups."""
+        Callers skip flows whose rate is unchanged — a flow drains linearly,
+        so leaving ``(t_last, remaining)`` untouched until the rate actually
+        changes is exact (and keeps its completion-heap entry valid).
+        """
+        old = flow.rate
+        if old > 0.0:
+            rem = flow.remaining - old * (now - flow.t_last)
+            flow.remaining = rem if rem > 0.0 else 0.0
+        flow.t_last = now
+        flow.rate = new_rate
+        flow.wake_seq += 1
+        if new_rate > 0.0:
+            ctime = now + flow.remaining / new_rate
+            flow.ctime = ctime
+            self._push_seq += 1
+            heappush(self._completions, (ctime, self._push_seq, flow.wake_seq, flow))
+
+    def _rebalance_pair(self, src: Nic, dst: Nic) -> None:
+        """Equal-share rebalance after an arrival/departure on (src, dst).
+
+        Only the up-share of ``src`` and the down-share of ``dst`` changed,
+        so only flows crossing those two link directions can see a new rate.
+        """
         now = self.env.now
-        affected = self._affected_flows(touched)
-        # Advance progress of affected flows to `now` under their old rates.
-        for flow in affected:
-            if flow.rate > 0.0:
-                flow.remaining -= flow.rate * (now - flow.t_last)
-                if flow.remaining < 0.0:
-                    flow.remaining = 0.0
-            flow.t_last = now
-        # Compute new rates.
-        if self.fairness == "equal-share":
-            for flow in affected:
-                up_share = flow.src.up_capacity / max(1, len(flow.src.up_flows))
-                down_share = flow.dst.down_capacity / max(1, len(flow.dst.down_flows))
-                flow.rate = min(up_share, down_share)
-        else:
-            self._progressive_filling()
-        # Reschedule completion wakeups for flows whose rate changed.
-        for flow in affected:
-            flow.wake_seq += 1
-            self._arm_wakeup(flow)
+        for flow in src.up_flows:
+            rate = flow.src.up_share
+            ds = flow.dst.down_share
+            if ds < rate:
+                rate = ds
+            if rate != flow.rate:
+                self._set_rate(flow, rate, now)
+        for flow in dst.down_flows:
+            if flow.src is src:
+                continue  # already handled in the uplink pass
+            rate = flow.src.up_share
+            ds = flow.dst.down_share
+            if ds < rate:
+                rate = ds
+            if rate != flow.rate:
+                self._set_rate(flow, rate, now)
+        self._arm_sentinel()
 
-    def _progressive_filling(self) -> None:
-        """Exact max-min fairness over all active flows."""
-        unfixed: Dict[Flow, None] = dict(self._flows)
-        residual_up: Dict[Nic, float] = {}
-        residual_down: Dict[Nic, float] = {}
-        count_up: Dict[Nic, int] = {}
-        count_down: Dict[Nic, int] = {}
-        for flow in unfixed:
-            residual_up.setdefault(flow.src, flow.src.up_capacity)
-            residual_down.setdefault(flow.dst, flow.dst.down_capacity)
-            count_up[flow.src] = count_up.get(flow.src, 0) + 1
-            count_down[flow.dst] = count_down.get(flow.dst, 0) + 1
-        while unfixed:
-            # The tightest link determines the next fixing level.
-            level = None
-            for nic, res in residual_up.items():
-                if count_up.get(nic, 0) > 0:
-                    share = res / count_up[nic]
-                    level = share if level is None else min(level, share)
-            for nic, res in residual_down.items():
-                if count_down.get(nic, 0) > 0:
-                    share = res / count_down[nic]
-                    level = share if level is None else min(level, share)
-            assert level is not None
-            # Fix every flow constrained at `level` on a saturated link.
-            fixed_now: List[Flow] = []
-            for flow in unfixed:
-                up_share = residual_up[flow.src] / count_up[flow.src]
-                down_share = residual_down[flow.dst] / count_down[flow.dst]
-                if min(up_share, down_share) <= level * (1 + 1e-9):
-                    flow.rate = level
-                    fixed_now.append(flow)
-            if not fixed_now:  # numerical guard; fix everything at level
-                for flow in unfixed:
-                    flow.rate = level
-                fixed_now = list(unfixed)
-            for flow in fixed_now:
-                unfixed.pop(flow, None)
-                residual_up[flow.src] -= flow.rate
-                residual_down[flow.dst] -= flow.rate
-                count_up[flow.src] -= 1
-                count_down[flow.dst] -= 1
+    def _rebalance_global(self) -> None:
+        """Max-min rebalance: recompute every active flow's rate."""
+        now = self.env.now
+        for flow, rate in self._progressive_filling():
+            if rate != flow.rate:
+                self._set_rate(flow, rate, now)
+        self._arm_sentinel()
 
-    def _arm_wakeup(self, flow: Flow) -> None:
-        if flow.rate <= 0.0:
+    def _progressive_filling(self) -> List[Tuple[Flow, float]]:
+        """Exact max-min fairness over all active flows (water filling).
+
+        Heap-driven: each link direction carries (residual capacity, unfixed
+        flow count); the globally tightest link fixes all its unfixed flows
+        at its share level, then the other endpoints' shares are re-pushed.
+        Lazy invalidation via per-link version counters. O(F log L) instead
+        of repeated O(links x flows) scans.
+        """
+        flows = self._flows
+        if not flows:
+            return []
+        # Link record: [residual, count, unfixed-flows dict, version, index].
+        links: Dict[Tuple[str, Nic], list] = {}
+        link_list: List[list] = []
+        flow_links: Dict[Flow, Tuple[list, list]] = {}
+        for flow in flows:
+            key_u = ("u", flow.src)
+            lu = links.get(key_u)
+            if lu is None:
+                lu = [flow.src.up_capacity, 0, {}, 0, len(link_list)]
+                links[key_u] = lu
+                link_list.append(lu)
+            key_d = ("d", flow.dst)
+            ld = links.get(key_d)
+            if ld is None:
+                ld = [flow.dst.down_capacity, 0, {}, 0, len(link_list)]
+                links[key_d] = ld
+                link_list.append(ld)
+            lu[1] += 1
+            lu[2][flow] = None
+            ld[1] += 1
+            ld[2][flow] = None
+            flow_links[flow] = (lu, ld)
+        heap: List[Tuple[float, int, int]] = [
+            (link[0] / link[1], link[4], link[3]) for link in link_list
+        ]
+        heapify(heap)
+        rates: List[Tuple[Flow, float]] = []
+        n_unfixed = len(flows)
+        while n_unfixed and heap:
+            share, idx, ver = heappop(heap)
+            link = link_list[idx]
+            if ver != link[3] or link[1] == 0:
+                continue  # stale entry
+            level = share
+            touched: Dict[int, list] = {}
+            for flow in list(link[2]):
+                rates.append((flow, level))
+                n_unfixed -= 1
+                lu, ld = flow_links[flow]
+                for other in (lu, ld):
+                    del other[2][flow]
+                    other[1] -= 1
+                    other[0] -= level
+                    if other is not link:
+                        touched[other[4]] = other
+            link[3] += 1  # saturated; invalidate pending entries
+            for other in touched.values():
+                other[3] += 1
+                if other[1] > 0:
+                    heappush(heap, (other[0] / other[1], other[4], other[3]))
+        return rates
+
+    # ------------------------------------------------------------------ #
+    # completion sentinel
+    # ------------------------------------------------------------------ #
+    def _arm_sentinel(self) -> None:
+        """Ensure one timer is pending at the earliest valid completion time.
+
+        Lazy cancellation: if the armed timer targets a time at or before the
+        heap head it is left alone (a too-early fire simply re-arms); if the
+        head moved earlier, a fresh timer is armed and the generation bump
+        makes the old one a no-op.
+        """
+        heap = self._completions
+        flows = self._flows
+        while heap:
+            head = heap[0]
+            if head[2] != head[3].wake_seq or head[3] not in flows:
+                heappop(heap)
+                continue
+            break
+        if not heap:
             return
-        eta = flow.remaining / flow.rate
-        seq = flow.wake_seq
+        t = heap[0][0]
+        if self._sentinel_time is not None and self._sentinel_time <= t:
+            return
+        self._sentinel_gen += 1
+        self._sentinel_time = t
+        env = self.env
+        ev = Event(env)
+        ev.callbacks.append(self._on_sentinel)
+        env.schedule_at(ev, t, value=self._sentinel_gen)
 
-        def on_wake(_ev: Event, flow=flow, seq=seq) -> None:
-            if flow.wake_seq != seq or flow not in self._flows:
-                return  # stale wakeup: the flow's rate changed meanwhile
+    def _on_sentinel(self, ev: Event) -> None:
+        if ev._value != self._sentinel_gen:
+            return  # superseded by an earlier-armed sentinel
+        self._sentinel_time = None
+        heap = self._completions
+        flows = self._flows
+        while heap:
+            head = heap[0]
+            if head[2] != head[3].wake_seq or head[3] not in flows:
+                heappop(heap)
+                continue
+            break
+        if not heap:
+            return
+        if heap[0][0] <= self.env.now:
+            # Complete exactly one flow; the rebalance it triggers re-arms
+            # the sentinel (a tied completion fires again at the same time),
+            # which keeps completion ordering identical to per-flow timers.
+            flow = heappop(heap)[3]
             self._complete(flow)
-
-        timer = self.env.timeout(eta)
-        assert timer.callbacks is not None
-        timer.callbacks.append(on_wake)
+        else:
+            self._arm_sentinel()
 
     def _complete(self, flow: Flow) -> None:
         self._flows.pop(flow, None)
-        flow.src.up_flows.pop(flow, None)
-        flow.dst.down_flows.pop(flow, None)
-        self.metrics.add_traffic(int(flow.size), flow.kind)
-        self._rebalance([flow.src, flow.dst] if self.fairness == "equal-share" else None)
-
-        # Last byte still pays propagation latency.
-        def deliver(_ev: Event, flow=flow) -> None:
-            flow.done.succeed()
-
-        timer = self.env.timeout(self.latency)
-        assert timer.callbacks is not None
-        timer.callbacks.append(deliver)
+        src, dst = flow.src, flow.dst
+        src.up_flows.pop(flow, None)
+        src.up_share = src.up_capacity / max(1, len(src.up_flows))
+        dst.down_flows.pop(flow, None)
+        dst.down_share = dst.down_capacity / max(1, len(dst.down_flows))
+        flow.wake_seq += 1  # invalidate any remaining heap entries
+        self.metrics.traffic[flow.kind] += int(flow.size)
+        if self.fairness == "equal-share":
+            self._rebalance_pair(src, dst)
+        else:
+            self._rebalance_global()
+        # Last byte still pays propagation latency; deliver `done` directly.
+        env = self.env
+        env.schedule_at(flow.done, env.now + self.latency)

@@ -26,7 +26,7 @@ from ..common.units import KiB
 from .image import VmImage
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BootOp:
     """One step of a boot trace."""
 

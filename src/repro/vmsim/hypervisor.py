@@ -17,6 +17,7 @@ import numpy as np
 from ..calibration import BootModel
 from ..common.errors import SimulationError
 from ..common.payload import Payload
+from ..simkit.core import Timeout
 from ..simkit.host import Host
 from .boottrace import BootOp
 
@@ -43,18 +44,21 @@ class VMInstance:
     # ------------------------------------------------------------------ #
     def run_ops(self, ops: Iterable[BootOp]) -> Generator:
         """Replay a trace against the backend."""
+        env = self.host.env
+        backend = self.backend
         for op in ops:
-            if op.kind == "cpu":
+            kind = op.kind
+            if kind == "cpu":
                 if op.duration > 0:
-                    yield self.host.env.timeout(op.duration)
-            elif op.kind == "read":
-                yield from self.backend.read(op.offset, op.nbytes)
-            elif op.kind == "write":
-                yield from self.backend.write(
+                    yield Timeout(env, op.duration)
+            elif kind == "read":
+                yield from backend.read(op.offset, op.nbytes)
+            elif kind == "write":
+                yield from backend.write(
                     op.offset, Payload.opaque(f"vmwrite-{self.name}", op.nbytes)
                 )
             else:
-                raise SimulationError(f"unknown boot op {op.kind!r}")
+                raise SimulationError(f"unknown boot op {kind!r}")
 
     def boot(self, trace: List[BootOp]) -> Generator:
         """Hypervisor init + backend open + boot trace. Records boot_time."""

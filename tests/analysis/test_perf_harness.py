@@ -1,0 +1,86 @@
+"""The tracked perf harness: smoke coverage plus the full gate (marked).
+
+The cheap tests run in tier 1: they exercise the harness's measurement and
+regression logic on a one-point workload and on synthetic numbers. The
+full events/sec gate against the committed ``BENCH_simkit.json`` is marked
+``perf`` (excluded by default, run via ``make perf`` or ``pytest -m perf``).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).resolve().parents[2] / "benchmarks"
+if str(BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS))
+
+import bench_simperf  # noqa: E402
+
+
+class TestMeasurement:
+    def test_single_point_smoke(self):
+        out = bench_simperf.measure(repeats=1, counts=(1,))
+        row = out["fig4"]
+        assert row["events"] > 0
+        assert row["wall_s"] > 0
+        assert row["events_per_s"] > 0
+        assert "fig5" not in out  # restricted sweeps skip the snapshot point
+
+    def test_event_count_is_deterministic(self):
+        a = bench_simperf.run_fig4_sweep((1,))
+        b = bench_simperf.run_fig4_sweep((1,))
+        assert a == b
+
+
+class TestRegressionGate:
+    BASE = {"current": {"fig4": {"events_per_s": 1000, "events": 500, "wall_s": 1.0}}}
+
+    def _fresh(self, eps, events=500):
+        return {"fig4": {"events_per_s": eps, "events": events, "wall_s": 1.0}}
+
+    def test_passes_within_tolerance(self):
+        assert bench_simperf.check_regression(self._fresh(900), self.BASE) == []
+
+    def test_fails_beyond_tolerance(self):
+        failures = bench_simperf.check_regression(self._fresh(700), self.BASE)
+        assert len(failures) == 1
+        assert "below the committed" in failures[0]
+
+    def test_fails_on_workload_change(self):
+        failures = bench_simperf.check_regression(
+            self._fresh(1000, events=501), self.BASE
+        )
+        assert len(failures) == 1
+        assert "workload changed" in failures[0]
+
+    def test_unknown_figures_ignored(self):
+        fresh = {"fig9": {"events_per_s": 1, "events": 1, "wall_s": 1.0}}
+        assert bench_simperf.check_regression(fresh, self.BASE) == []
+
+
+class TestTrackedFile:
+    def test_committed_file_shape(self):
+        committed = bench_simperf.load_committed()
+        for section in ("seed_baseline", "current"):
+            for fig in ("fig4", "fig5"):
+                row = committed[section][fig]
+                assert set(row) == {"wall_s", "events", "events_per_s"}
+        # the tentpole claim the file exists to document
+        assert committed["improvement"]["fig4_wall_speedup"] >= 2.0
+
+    def test_speedups_computed_from_sections(self):
+        committed = {
+            "seed_baseline": {"fig4": {"wall_s": 4.0}},
+            "current": {"fig4": {"wall_s": 1.0}},
+        }
+        assert bench_simperf._speedups(committed) == {"fig4_wall_speedup": 4.0}
+
+
+@pytest.mark.perf
+def test_full_gate_against_committed_numbers():
+    """The real thing: re-measure both figures and apply the gate."""
+    fresh = bench_simperf.measure(repeats=bench_simperf.DEFAULT_REPEATS)
+    committed = bench_simperf.load_committed()
+    failures = bench_simperf.check_regression(fresh, committed)
+    assert failures == [], "\n".join(failures)
