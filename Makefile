@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-quick perf examples clean
+.PHONY: install test bench bench-quick perf sweep-smoke examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,7 +14,11 @@ bench:           ## full paper-profile figure reproduction (~25 min)
 bench-quick:     ## scaled-down smoke of every figure (~40 s)
 	REPRO_BENCH_PROFILE=quick pytest benchmarks/ --benchmark-only
 
-perf:            ## simulator throughput gate vs BENCH_simkit.json (~15 s)
+sweep-smoke:     ## quick-profile fig4 sweep through the parallel runner (2 jobs)
+	PYTHONPATH=src python -m repro sweep --figure fig4 --profile quick \
+		--approach mirror --jobs 2 --no-cache
+
+perf: sweep-smoke ## simulator throughput gate vs BENCH_simkit.json (~20 s)
 	PYTHONPATH=src python benchmarks/bench_simperf.py
 
 examples:

@@ -25,7 +25,14 @@ from repro.common.units import GiB, KiB, MiB
 from repro.simkit.host import Fabric
 from repro.vmsim import make_image
 
-from common import active_profile, emit
+from common import (
+    BenchProfile,
+    PointSpec,
+    active_profile,
+    emit,
+    register_profile,
+    run_sweep,
+)
 
 PROFILE = active_profile()
 N = 24 if PROFILE.name == "paper" else 8
@@ -33,21 +40,45 @@ POOL = 32 if PROFILE.name == "paper" else 12
 IMAGE = 1 * GiB if PROFILE.name == "paper" else 256 * MiB
 TOUCHED = 64 * MiB if PROFILE.name == "paper" else 24 * MiB
 
-
-def _deploy_with(chunk_size=256 * KiB, mirror_prefetch=True, seed=5):
-    calib = Calibration(
-        image=ImageSpec(size=IMAGE, chunk_size=chunk_size, boot_touched_bytes=TOUCHED)
+#: the ablations deploy a mid-size cluster distinct from both paper profiles;
+#: registering it lets the sweep runner's workers resolve it by name
+ABLATION = register_profile(
+    BenchProfile(
+        name=f"ablation-{PROFILE.name}",
+        pool_nodes=POOL,
+        instance_counts=(N,),
+        image_size=IMAGE,
+        chunk_size=256 * KiB,
+        touched_bytes=TOUCHED,
+        n_regions=48,
+        diff_bytes=PROFILE.diff_bytes,
+        mc_workers=PROFILE.mc_workers,
+        mc_total_compute=PROFILE.mc_total_compute,
+        bonnie_working_set=PROFILE.bonnie_working_set,
     )
-    cloud = build_cloud(POOL, seed=seed, calib=calib)
-    image = make_image(IMAGE, TOUCHED, n_regions=48)
-    return cloud, deploy(cloud, image, N, "mirror", mirror_prefetch=mirror_prefetch)
+)
+
+
+def _deploy_point(chunk_size=None, mirror_prefetch=True, fairness=None, seed=5):
+    """One ablation deployment as a sweep point (cached, parallelizable)."""
+    overrides = () if chunk_size is None else (("image.chunk_size", chunk_size),)
+    params = []
+    if not mirror_prefetch:
+        params.append(("mirror_prefetch", False))
+    if fairness is not None:
+        params.append(("fairness", fairness))
+    spec = PointSpec(
+        kind="deploy", profile=ABLATION.name, approach="mirror", n=N, seed=seed,
+        overrides=overrides, params=tuple(params),
+    )
+    return run_sweep([spec])[0]
 
 
 def test_ablation_chunk_size(benchmark, sweep_cache):
     sizes = [64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB]
 
     def sweep():
-        return {cs: _deploy_with(chunk_size=cs)[1] for cs in sizes}
+        return {cs: _deploy_point(chunk_size=cs) for cs in sizes}
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     boot = Series("avg boot (s)")
@@ -68,7 +99,9 @@ def test_ablation_chunk_size(benchmark, sweep_cache):
             boot.at(256) <= boot.at(64) * 1.05 and boot.at(256) <= boot.at(4096) * 1.05,
         ),
     ]
-    emit("ablation_chunk_size", render_figure(fig) + "\n" + "\n".join(checks))
+    emit("ablation_chunk_size", render_figure(fig) + "\n" + "\n".join(checks),
+         {"series": {s.name: {"x": s.x, "y": s.y} for s in (boot, traffic)},
+          "checks": checks})
     assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)
 
 
@@ -85,13 +118,13 @@ def test_ablation_strategy1_prefetch(benchmark, sweep_cache):
     """
 
     def compare():
-        cloud_a, with_prefetch = _deploy_with(mirror_prefetch=True)
-        cloud_b, without = _deploy_with(mirror_prefetch=False)
+        with_prefetch = _deploy_point(mirror_prefetch=True)
+        without = _deploy_point(mirror_prefetch=False)
         return (
             with_prefetch,
             without,
-            cloud_a.metrics.counters["mirror-remote-read"],
-            cloud_b.metrics.counters["mirror-remote-read"],
+            with_prefetch.counters["mirror-remote-read"],
+            without.counters["mirror-remote-read"],
         )
 
     with_prefetch, without, trips_pf, trips_exact = benchmark.pedantic(
@@ -120,7 +153,14 @@ def test_ablation_strategy1_prefetch(benchmark, sweep_cache):
             with_prefetch.avg_boot_time < without.avg_boot_time * 1.03,
         ),
     ]
-    emit("ablation_strategy1", "\n".join(lines) + "\n" + "\n".join(checks))
+    emit("ablation_strategy1", "\n".join(lines) + "\n" + "\n".join(checks),
+         {"prefetch": {"avg_boot_time": with_prefetch.avg_boot_time,
+                       "total_traffic": with_prefetch.total_traffic,
+                       "remote_trips": trips_pf},
+          "exact": {"avg_boot_time": without.avg_boot_time,
+                    "total_traffic": without.total_traffic,
+                    "remote_trips": trips_exact},
+          "checks": checks})
     assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)
 
 
@@ -143,7 +183,7 @@ def test_ablation_broadcast_pipelining(benchmark, sweep_cache):
         return out
 
     makespans = benchmark.pedantic(compare, rounds=1, iterations=1)
-    mirror_time = _deploy_with()[1].completion_time
+    mirror_time = _deploy_point().completion_time
     lines = [
         "# ablation: broadcast pipelining (prepropagation transport)",
         "",
@@ -160,7 +200,9 @@ def test_ablation_broadcast_pipelining(benchmark, sweep_cache):
             mirror_time < makespans["pipelined-4MiB"],
         ),
     ]
-    emit("ablation_broadcast", "\n".join(lines) + "\n" + "\n".join(checks))
+    emit("ablation_broadcast", "\n".join(lines) + "\n" + "\n".join(checks),
+         {"makespans": makespans, "mirror_completion_time": mirror_time,
+          "checks": checks})
     assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)
 
 
@@ -263,7 +305,9 @@ def test_ablation_profile_prefetch(benchmark, sweep_cache):
             with_pf < without,
         ),
     ]
-    emit("ablation_prefetch", "\n".join(lines) + "\n" + "\n".join(checks))
+    emit("ablation_prefetch", "\n".join(lines) + "\n" + "\n".join(checks),
+         {"avg_boot_time": {"no_prefetch": without, "profile_prefetch": with_pf},
+          "checks": checks})
     assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)
 
 
@@ -334,21 +378,19 @@ def test_ablation_dedup_multisnapshot(benchmark, sweep_cache):
             dedup_avg < plain_avg * 2.0,
         ),
     ]
-    emit("ablation_dedup", "\n".join(lines) + "\n" + "\n".join(checks))
+    emit("ablation_dedup", "\n".join(lines) + "\n" + "\n".join(checks),
+         {"stored_bytes": {"plain": plain_added, "dedup": dedup_added},
+          "avg_snapshot_time": {"plain": plain_avg, "dedup": dedup_avg},
+          "checks": checks})
     assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)
 
 
 def test_ablation_fairness_model(benchmark, sweep_cache):
     def compare():
-        out = {}
-        for mode in ("equal-share", "maxmin"):
-            calib = Calibration(
-                image=ImageSpec(size=IMAGE, chunk_size=256 * KiB, boot_touched_bytes=TOUCHED)
-            )
-            cloud = build_cloud(POOL, seed=5, calib=calib, fairness=mode)
-            image = make_image(IMAGE, TOUCHED, n_regions=48)
-            out[mode] = deploy(cloud, image, N, "mirror").completion_time
-        return out
+        return {
+            mode: _deploy_point(fairness=mode).completion_time
+            for mode in ("equal-share", "maxmin")
+        }
 
     times = benchmark.pedantic(compare, rounds=1, iterations=1)
     rel_err = abs(times["equal-share"] - times["maxmin"]) / times["maxmin"]
@@ -368,5 +410,6 @@ def test_ablation_fairness_model(benchmark, sweep_cache):
             times["equal-share"] >= times["maxmin"] * 0.999,
         ),
     ]
-    emit("ablation_fairness", "\n".join(lines) + "\n" + "\n".join(checks))
+    emit("ablation_fairness", "\n".join(lines) + "\n" + "\n".join(checks),
+         {"completion_times": times, "relative_error": rel_err, "checks": checks})
     assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)

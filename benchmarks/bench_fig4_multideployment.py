@@ -10,23 +10,23 @@ One initial 2 GiB image deployed to N concurrent instances, N swept up to
 
 Each sweep runs once (``pedantic`` with one round — the simulation is
 deterministic); the reported benchmark time is the harness cost of the whole
-sweep. Panels assert the paper's qualitative shapes.
+sweep. The point loop goes through the parallel sweep runner (jobs/cache
+from the ``REPRO_BENCH_*`` environment). Panels assert the paper's
+qualitative shapes.
 """
 
 import pytest
 
 from repro.analysis import Figure, Series, ascii_chart, check_shape, render_figure, speedup
 
-from common import active_profile, emit, run_deploy_point
+from common import active_profile, deploy_specs, emit, figure_data, run_sweep
 
 PROFILE = active_profile()
 
 
 def _sweep(approach):
-    results = {}
-    for n in PROFILE.instance_counts:
-        results[n] = run_deploy_point(PROFILE, approach, n, seed=1)
-    return results
+    points = run_sweep(deploy_specs(PROFILE, approach, seed=1))
+    return {p.spec.n: p for p in points}
 
 
 @pytest.mark.parametrize("approach", ["mirror", "qcow2-pvfs", "prepropagation"])
@@ -72,7 +72,7 @@ def test_fig4a_avg_boot_time(benchmark, sweep_cache):
             and series["qcow2-pvfs"].last() > series["mirror"].last(),
         ),
     ]
-    emit("fig4a", render_figure(fig) + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks))
+    emit("fig4a", render_figure(fig) + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks), figure_data(fig, checks))
     assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)
 
 
@@ -98,7 +98,7 @@ def test_fig4b_completion_time(benchmark, sweep_cache):
             ),
         ),
     ]
-    emit("fig4b", render_figure(fig) + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks))
+    emit("fig4b", render_figure(fig) + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks), figure_data(fig, checks))
     assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)
 
 
@@ -129,7 +129,7 @@ def test_fig4c_speedup(benchmark, sweep_cache):
             vs_qcow2.last() > vs_qcow2.y[0],
         ),
     ]
-    emit("fig4c", render_figure(fig, fmt="{:10.2f}") + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks))
+    emit("fig4c", render_figure(fig, fmt="{:10.2f}") + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks), figure_data(fig, checks))
     assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)
 
 
@@ -158,5 +158,5 @@ def test_fig4d_total_network_traffic(benchmark, sweep_cache):
             all(s.is_monotonic_nondecreasing() for s in series.values()),
         ),
     ]
-    emit("fig4d", render_figure(fig) + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks))
+    emit("fig4d", render_figure(fig) + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks), figure_data(fig, checks))
     assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)

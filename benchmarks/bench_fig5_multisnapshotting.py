@@ -10,7 +10,7 @@ import pytest
 
 from repro.analysis import Figure, Series, ascii_chart, check_shape, render_figure
 
-from common import active_profile, emit, run_snapshot_point
+from common import active_profile, emit, figure_data, run_sweep, snapshot_specs
 
 PROFILE = active_profile()
 
@@ -18,10 +18,8 @@ PROFILE = active_profile()
 @pytest.mark.parametrize("approach", ["mirror", "qcow2-pvfs"])
 def test_fig5_sweep(benchmark, sweep_cache, approach):
     def sweep():
-        return {
-            n: run_snapshot_point(PROFILE, approach, n, seed=1)
-            for n in PROFILE.instance_counts
-        }
+        points = run_sweep(snapshot_specs(PROFILE, approach, seed=1))
+        return {p.spec.n: p for p in points}
 
     result = benchmark.pedantic(sweep, rounds=1, iterations=1)
     sweep_cache[("fig5", approach)] = result
@@ -67,7 +65,7 @@ def test_fig5a_avg_snapshot_time(benchmark, sweep_cache):
             ),
         ),
     ]
-    emit("fig5a", render_figure(fig, fmt="{:10.3f}") + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks))
+    emit("fig5a", render_figure(fig, fmt="{:10.3f}") + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks), figure_data(fig, checks))
     assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)
 
 
@@ -96,7 +94,7 @@ def test_fig5b_completion_time(benchmark, sweep_cache):
             ),
         ),
     ]
-    emit("fig5b", render_figure(fig, fmt="{:10.3f}") + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks))
+    emit("fig5b", render_figure(fig, fmt="{:10.3f}") + "\n\n" + ascii_chart(fig) + "\n" + "\n".join(checks), figure_data(fig, checks))
     assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)
 
 

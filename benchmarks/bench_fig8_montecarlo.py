@@ -10,126 +10,45 @@ result inside its VM image. Two settings:
   result: our approach vs qcow2-over-PVFS (prepropagation cannot
   multisnapshot).
 
-Correctness is asserted end-to-end: resumed workers continue from the saved
-progress carried through the snapshot, never from scratch.
+Each setting is a ``kind="montecarlo"`` sweep point executed by
+:mod:`repro.runner.points`, which asserts correctness end-to-end inside the
+simulation: resumed workers continue from the saved progress carried through
+the snapshot, never from scratch (a violation raises and fails the point).
 """
 
 import pytest
 
 from repro.analysis import check_shape, render_bars
-from repro.baselines.qcow2 import Qcow2Image
-from repro.cloud import deploy
-from repro.cloud.middleware import CloudMiddleware
-from repro.cloud.snapshotting import snapshot_all
-from repro.vmsim import MonteCarloConfig, MonteCarloWorker, boot_trace
-from repro.vmsim.backends import Qcow2PvfsBackend
-from repro.vmsim.hypervisor import VMInstance
 
-from common import active_profile, build_point_cloud, emit
+from common import PointSpec, active_profile, emit, run_sweep
 
 PROFILE = active_profile()
-HALF = PROFILE.mc_total_compute / 2
 
 
-def _mc_config(image):
-    from repro.calibration import DEFAULT
-
-    return MonteCarloConfig(
-        total_compute=PROFILE.mc_total_compute,
-        checkpoint_interval=PROFILE.mc_total_compute / 10,
-        state_bytes=DEFAULT.snapshot.montecarlo_state_bytes,
-        state_offset=image.write_base,
+def _mc_point(approach: str, mode: str):
+    spec = PointSpec(
+        kind="montecarlo", profile=PROFILE.name, approach=approach, seed=8,
+        params=(("mode", mode),),
     )
-
-
-def _run_workers(cloud, workers, until=None):
-    procs = [cloud.env.process(w.run(until_progress=until)) for w in workers]
-    cloud.run(cloud.env.all_of(procs))
-
-
-def run_uninterrupted(approach):
-    cloud, image = build_point_cloud(PROFILE, seed=8)
-    n = min(PROFILE.mc_workers, PROFILE.pool_nodes)
-    res = deploy(cloud, image, n, approach)
-    cfg = _mc_config(image)
-    workers = [MonteCarloWorker(vm.name, vm.backend, cfg) for vm in res.vms]
-    _run_workers(cloud, workers)
-    assert all(w.finished for w in workers)
-    return cloud.env.now
-
-
-def run_suspend_resume(approach):
-    cloud, image = build_point_cloud(PROFILE, seed=8)
-    mw = CloudMiddleware(cloud)
-    n = min(PROFILE.mc_workers, PROFILE.pool_nodes)
-    res = mw.deploy_set(image, n, approach)
-    cfg = _mc_config(image)
-    workers = [MonteCarloWorker(vm.name, vm.backend, cfg) for vm in res.vms]
-    _run_workers(cloud, workers, until=HALF)
-    assert all(w.progress == HALF for w in workers)
-
-    campaign = snapshot_all(cloud, res.vms, approach)
-    mw.terminate_set(res.vms)
-
-    # resume on different nodes: shifted placement over the pool
-    shift = max(1, PROFILE.pool_nodes - n)
-    fresh = [cloud.compute[(i + shift) % PROFILE.pool_nodes] for i in range(n)]
-    boot_model = cloud.calib.boot
-
-    if approach == "mirror":
-        resumed = mw.resume_set(list(campaign.per_instance), fresh)
-    else:
-        resumed = []
-        for i, (snap, node) in enumerate(zip(campaign.per_instance, fresh)):
-            # download the qcow2 snapshot file from PVFS, reopen it locally
-            src_backend = res.vms[i].backend
-            backend = Qcow2PvfsBackend(
-                node, cloud.pvfs, "/images/initial.raw", cloud.calib.fuse,
-                cluster_size=src_backend.image.cluster_size,
-            )
-
-            def fetch(backend=backend, snap=snap, src=src_backend):
-                payload = yield from backend.client.read(snap.ident, 0, snap.bytes_moved)
-                _, index = src.image.serialize()
-                backend.image = Qcow2Image.deserialize(
-                    payload, index, image.size,
-                    backing_read=backend.image.backing_read,
-                    cluster_size=src.image.cluster_size,
-                )
-
-            cloud.run(cloud.env.process(fetch(), name=f"resume-fetch-{i}"))
-            resumed.append(
-                VMInstance(
-                    f"resumed-{i:03d}", node, backend, boot_model,
-                    cloud.fabric.rng.get("vm-resume", i),
-                )
-            )
-
-    # reboot the resumed instances (fresh nodes: everything remote again)
-    boots = []
-    for i, vm in enumerate(resumed):
-        trace = boot_trace(image, boot_model, cloud.fabric.rng.get("trace-resume", i))
-        boots.append(cloud.env.process(vm.boot(trace), name=f"reboot-{vm.name}"))
-    cloud.run(cloud.env.all_of(boots))
-
-    new_workers = [MonteCarloWorker(vm.name, vm.backend, cfg) for vm in resumed]
-    _run_workers(cloud, new_workers)
-    assert all(w.finished for w in new_workers)
-    # end-to-end: progress really came from the snapshot, not from scratch
-    assert all(w.progress == PROFILE.mc_total_compute for w in new_workers)
-    return cloud.env.now
+    return run_sweep([spec])[0]
 
 
 @pytest.mark.parametrize("approach", ["prepropagation", "qcow2-pvfs", "mirror"])
 def test_fig8_uninterrupted(benchmark, sweep_cache, approach):
-    t = benchmark.pedantic(lambda: run_uninterrupted(approach), rounds=1, iterations=1)
+    point = benchmark.pedantic(
+        lambda: _mc_point(approach, "uninterrupted"), rounds=1, iterations=1
+    )
+    t = point.metrics["completion_time"]
     sweep_cache[("fig8-uninterrupted", approach)] = t
     assert t > PROFILE.mc_total_compute  # computation dominates
 
 
 @pytest.mark.parametrize("approach", ["qcow2-pvfs", "mirror"])
 def test_fig8_suspend_resume(benchmark, sweep_cache, approach):
-    t = benchmark.pedantic(lambda: run_suspend_resume(approach), rounds=1, iterations=1)
+    point = benchmark.pedantic(
+        lambda: _mc_point(approach, "suspend-resume"), rounds=1, iterations=1
+    )
+    t = point.metrics["completion_time"]
     sweep_cache[("fig8-suspend", approach)] = t
     assert t > PROFILE.mc_total_compute
 
@@ -140,15 +59,16 @@ def test_fig8_report(benchmark, sweep_cache):
         for a in ("prepropagation", "qcow2-pvfs", "mirror")
     }
     suspend = {a: sweep_cache[("fig8-suspend", a)] for a in ("qcow2-pvfs", "mirror")}
+    groups = {
+        "pre-propagation": [uninterrupted["prepropagation"], float("nan")],
+        "qcow2-over-PVFS": [uninterrupted["qcow2-pvfs"], suspend["qcow2-pvfs"]],
+        "our-approach": [uninterrupted["mirror"], suspend["mirror"]],
+    }
     table = benchmark.pedantic(
         lambda: render_bars(
             "fig8: Monte Carlo completion time (s), 100 VM instances",
             ["Uninterrupted", "Suspend/Resume"],
-            {
-                "pre-propagation": [uninterrupted["prepropagation"], float("nan")],
-                "qcow2-over-PVFS": [uninterrupted["qcow2-pvfs"], suspend["qcow2-pvfs"]],
-                "our-approach": [uninterrupted["mirror"], suspend["mirror"]],
-            },
+            groups,
         ),
         rounds=1,
         iterations=1,
@@ -168,5 +88,10 @@ def test_fig8_report(benchmark, sweep_cache):
             suspend["mirror"] > uninterrupted["mirror"],
         ),
     ]
-    emit("fig8", table + "\n" + "\n".join(checks))
+    json_groups = {  # NaN (prepropagation cannot multisnapshot) -> null
+        k: [None if v != v else v for v in vals] for k, vals in groups.items()
+    }
+    emit("fig8", table + "\n" + "\n".join(checks),
+         {"labels": ["Uninterrupted", "Suspend/Resume"], "groups": json_groups,
+          "checks": checks})
     assert all(c.startswith("[PASS]") for c in checks), "\n".join(checks)

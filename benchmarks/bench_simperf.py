@@ -6,7 +6,12 @@ engine optimizations target, on the ``quick`` profile:
 * **fig4** — the multideployment sweep (deploy 1/8/16/24 instances with the
   mirror approach, fresh cloud per point);
 * **fig5** — the multisnapshotting point (deploy the full pool, apply diffs,
-  snapshot everything).
+  snapshot everything);
+* **sweep_runner** — the same fig4 sweep driven through the
+  :class:`repro.runner.SweepRunner` harness, sequential (``jobs=1``) versus
+  parallel (``jobs=4``), caching disabled so every point simulates. Records
+  points/sec for both modes plus the parallel speedup (meaningful on
+  multi-core machines; ``cpus`` is recorded alongside).
 
 Results are tracked in ``BENCH_simkit.json`` at the repository root:
 
@@ -34,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -49,6 +55,7 @@ if str(REPO_ROOT / "benchmarks") not in sys.path:
 from common import QUICK, apply_diffs, build_point_cloud  # noqa: E402
 
 from repro.cloud import deploy, snapshot_all  # noqa: E402
+from repro.runner import PointSpec, SweepRunner  # noqa: E402
 
 #: allowed fractional drop in events/sec before the gate fails (satellite
 #: requirement: >20% regression vs the committed baseline fails `make perf`)
@@ -82,6 +89,45 @@ def run_fig5_point(n=None) -> int:
     apply_diffs(cloud, image, result.vms, QUICK.diff_bytes)
     snapshot_all(cloud, result.vms, "mirror")
     return cloud.env.event_count
+
+
+#: parallel worker count for the tracked sweep_runner measurement
+SWEEP_JOBS = 4
+
+
+def sweep_specs(counts=None):
+    """The fig4 quick mirror sweep as runner specs."""
+    return [
+        PointSpec(kind="deploy", profile="quick", approach="mirror", n=n, seed=SEED)
+        for n in (counts or QUICK.instance_counts)
+    ]
+
+
+def measure_sweep_runner(repeats: int = DEFAULT_REPEATS, counts=None, jobs=SWEEP_JOBS) -> dict:
+    """Points/sec of the sweep harness, sequential vs parallel (no cache)."""
+    specs = sweep_specs(counts)
+
+    def best_wall(n_jobs):
+        walls = []
+        for _ in range(repeats):
+            runner = SweepRunner(jobs=n_jobs, cache=None)
+            t0 = time.perf_counter()
+            runner.run(specs)
+            walls.append(time.perf_counter() - t0)
+        return min(walls)
+
+    seq = best_wall(1)
+    par = best_wall(jobs)
+    seq_pps = len(specs) / seq
+    par_pps = len(specs) / par
+    return {
+        "points": len(specs),
+        "jobs": jobs,
+        "cpus": os.cpu_count(),
+        "seq_points_per_s": round(seq_pps, 2),
+        "par_points_per_s": round(par_pps, 2),
+        "parallel_speedup": round(par_pps / seq_pps, 2),
+    }
 
 
 def _best_of(workload, repeats: int) -> dict:
@@ -120,7 +166,7 @@ def check_regression(fresh: dict, committed: dict) -> list:
     failures = []
     for fig, now in fresh.items():
         base = committed.get("current", {}).get(fig)
-        if base is None:
+        if base is None or "events_per_s" not in now:
             continue
         floor = base["events_per_s"] * (1.0 - REGRESSION_TOLERANCE)
         if now["events_per_s"] < floor:
@@ -173,10 +219,18 @@ def main(argv=None) -> int:
             f"{row['events_per_s']} events/s"
         )
 
+    sweep = measure_sweep_runner(repeats=max(1, args.repeats - 1))
+    print(
+        f"sweep_runner: {sweep['seq_points_per_s']} points/s sequential, "
+        f"{sweep['par_points_per_s']} points/s with {sweep['jobs']} jobs "
+        f"({sweep['parallel_speedup']}x on {sweep['cpus']} cpus)"
+    )
+
     if args.update:
         committed.setdefault("profile", "quick")
         committed.setdefault("seed_baseline", {})
         committed["current"] = fresh
+        committed["sweep_runner"] = sweep
         committed["improvement"] = _speedups(committed)
         with open(BENCH_PATH, "w") as fh:
             json.dump(committed, fh, indent=2, sort_keys=True)

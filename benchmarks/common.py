@@ -1,141 +1,123 @@
 """Shared infrastructure for the figure-reproduction benchmarks.
 
-Every benchmark builds a fresh simulated cluster per measurement point
-(fresh seeds, no state leakage between points) and reports the series the
-corresponding paper figure plots. Two profiles are provided:
+Every benchmark describes each measurement point as a pure
+:class:`~repro.runner.PointSpec` (fresh seeds, no state leakage between
+points) and routes it through the :class:`~repro.runner.SweepRunner`: points
+fan out over a multiprocessing pool (``REPRO_BENCH_JOBS``, default all
+cores) and already-simulated points replay from the persistent result cache
+under ``benchmarks/results/cache/`` (disable with ``REPRO_BENCH_NO_CACHE=1``).
+
+Two profiles are provided (see :mod:`repro.runner.profiles`):
 
 * ``paper`` (default) — the full §5.1 setup: 120-node pool, 2 GiB image,
-  256 KiB chunks, up to 110 concurrent instances. A complete run takes a
-  few minutes of wall time.
+  256 KiB chunks, up to 110 concurrent instances.
 * ``quick`` — a scaled-down profile for smoke-testing the harness
   (``REPRO_BENCH_PROFILE=quick``).
 
-Rendered figure tables are written to ``benchmarks/results/`` and printed.
+Rendered figure tables are written to ``benchmarks/results/`` and printed;
+a machine-readable JSON twin lands next to each ``.txt``.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from dataclasses import dataclass
 from pathlib import Path
-from typing import List
+from typing import List, Optional, Sequence
 
-from repro.calibration import DEFAULT, Calibration
-from repro.cloud import Cloud, build_cloud, deploy, snapshot_all
-from repro.cloud.deployment import DeploymentResult
-from repro.cloud.snapshotting import SnapshotCampaignResult
-from repro.common.units import GiB, KiB, MiB
-from repro.vmsim import VmImage, make_image
-from repro.vmsim.workloads import read_your_writes_workload
+from repro.runner import (  # noqa: F401 — re-exported for the bench modules
+    PAPER,
+    QUICK,
+    BenchProfile,
+    PointResult,
+    PointSpec,
+    ResultCache,
+    SweepRunner,
+    active_profile,
+    apply_diffs,
+    build_point_cloud,
+    profile_calibration,
+    register_profile,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-@dataclass(frozen=True)
-class BenchProfile:
-    name: str
-    pool_nodes: int
-    instance_counts: tuple
-    image_size: int
-    chunk_size: int
-    touched_bytes: int
-    n_regions: int
-    diff_bytes: int
-    mc_workers: int
-    mc_total_compute: float
-    bonnie_working_set: int
+def bench_runner(jobs: Optional[int] = None) -> SweepRunner:
+    """A sweep runner configured from the benchmark environment."""
+    if jobs is None:
+        env = os.environ.get("REPRO_BENCH_JOBS")
+        jobs = int(env) if env else None
+    cache = None
+    if os.environ.get("REPRO_BENCH_NO_CACHE") != "1":
+        cache = ResultCache(RESULTS_DIR / "cache")
+    return SweepRunner(jobs=jobs, cache=cache)
 
 
-PAPER = BenchProfile(
-    name="paper",
-    pool_nodes=120,
-    instance_counts=(1, 20, 40, 60, 80, 110),
-    image_size=DEFAULT.image.size,          # 2 GiB
-    chunk_size=DEFAULT.image.chunk_size,    # 256 KiB
-    touched_bytes=DEFAULT.image.boot_touched_bytes,  # ~109 MiB
-    n_regions=64,
-    diff_bytes=DEFAULT.snapshot.diff_bytes,  # 15 MiB
-    mc_workers=100,
-    mc_total_compute=1000.0,
-    bonnie_working_set=800 * MiB,
-)
-
-QUICK = BenchProfile(
-    name="quick",
-    pool_nodes=24,
-    instance_counts=(1, 8, 16, 24),
-    image_size=512 * MiB,
-    chunk_size=256 * KiB,
-    touched_bytes=32 * MiB,
-    n_regions=32,
-    diff_bytes=6 * MiB,
-    mc_workers=16,
-    mc_total_compute=120.0,
-    bonnie_working_set=128 * MiB,
-)
+def run_sweep(specs: Sequence[PointSpec], jobs: Optional[int] = None) -> List[PointResult]:
+    """Execute a list of specs through the shared benchmark runner."""
+    return bench_runner(jobs=jobs).run(specs)
 
 
-def active_profile() -> BenchProfile:
-    return QUICK if os.environ.get("REPRO_BENCH_PROFILE") == "quick" else PAPER
+def deploy_specs(
+    profile: BenchProfile, approach: str, seed: int = 1, counts=None
+) -> List[PointSpec]:
+    """The Fig. 4 instance-count sweep for one approach."""
+    return [
+        PointSpec(kind="deploy", profile=profile.name, approach=approach, n=n, seed=seed)
+        for n in (counts or profile.instance_counts)
+    ]
 
 
-def profile_calibration(profile: BenchProfile) -> Calibration:
-    from repro.calibration import ImageSpec
-
-    return Calibration(
-        image=ImageSpec(
-            size=profile.image_size,
-            chunk_size=profile.chunk_size,
-            boot_touched_bytes=profile.touched_bytes,
-        )
-    )
-
-
-def build_point_cloud(profile: BenchProfile, seed: int) -> tuple:
-    """Fresh cluster + image for one measurement point."""
-    calib = profile_calibration(profile)
-    cloud = build_cloud(profile.pool_nodes, seed=seed, calib=calib)
-    image = make_image(
-        profile.image_size, profile.touched_bytes, n_regions=profile.n_regions
-    )
-    return cloud, image
+def snapshot_specs(
+    profile: BenchProfile, approach: str, seed: int = 1, counts=None
+) -> List[PointSpec]:
+    """The Fig. 5 instance-count sweep for one approach."""
+    return [
+        PointSpec(kind="snapshot", profile=profile.name, approach=approach, n=n, seed=seed)
+        for n in (counts or profile.instance_counts)
+    ]
 
 
 def run_deploy_point(
     profile: BenchProfile, approach: str, n: int, seed: int = 1
-) -> DeploymentResult:
+) -> PointResult:
     """One Fig. 4 measurement: deploy ``n`` instances with ``approach``."""
-    cloud, image = build_point_cloud(profile, seed)
-    return deploy(cloud, image, n, approach)
-
-
-def apply_diffs(cloud: Cloud, image: VmImage, vms, diff_bytes: int) -> None:
-    """Each running VM writes ~``diff_bytes`` of local modifications (§5.3)."""
-
-    def one(vm, i):
-        ops = read_your_writes_workload(
-            image.write_base, diff_bytes, cloud.fabric.rng.get("app-diff", i),
-            reread_fraction=0.05,
-        )
-        yield from vm.run_ops(ops)
-
-    procs = [cloud.env.process(one(vm, i)) for i, vm in enumerate(vms)]
-    cloud.run(cloud.env.all_of(procs))
+    return run_sweep(deploy_specs(profile, approach, seed=seed, counts=(n,)))[0]
 
 
 def run_snapshot_point(
     profile: BenchProfile, approach: str, n: int, seed: int = 1
-) -> SnapshotCampaignResult:
+) -> PointResult:
     """One Fig. 5 measurement: deploy, write diffs, snapshot all."""
-    cloud, image = build_point_cloud(profile, seed)
-    res = deploy(cloud, image, n, approach)
-    apply_diffs(cloud, image, res.vms, profile.diff_bytes)
-    return snapshot_all(cloud, res.vms, approach)
+    return run_sweep(snapshot_specs(profile, approach, seed=seed, counts=(n,)))[0]
 
 
-def emit(figure_id: str, text: str) -> None:
-    """Write a rendered figure to benchmarks/results/ and stdout."""
+def figure_data(fig, checks: Sequence[str] = ()) -> dict:
+    """JSON-able payload of a rendered figure (series + shape checks)."""
+    return {
+        "title": fig.title,
+        "x_label": fig.x_label,
+        "y_label": fig.y_label,
+        "series": {name: {"x": s.x, "y": s.y} for name, s in fig.series.items()},
+        "checks": list(checks),
+    }
+
+
+def emit(figure_id: str, text: str, data: Optional[dict] = None) -> None:
+    """Write a rendered figure to benchmarks/results/ and stdout.
+
+    ``data`` additionally lands as machine-readable JSON next to the text
+    table (``benchmarks/results/<figure_id>.json``) so the result cache and
+    downstream tooling share one format.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{figure_id}.txt"
     path.write_text(text + "\n")
+    if data is not None:
+        json_path = RESULTS_DIR / f"{figure_id}.json"
+        json_path.write_text(
+            json.dumps({"figure_id": figure_id, **data}, indent=2, sort_keys=True)
+            + "\n"
+        )
     print("\n" + text)

@@ -1,6 +1,14 @@
 """Benchmark fixtures: per-session caches so one sweep feeds several panels."""
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# make `import repro` work without an installed package or PYTHONPATH=src
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
 
 
 @pytest.fixture(scope="session")

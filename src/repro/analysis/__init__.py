@@ -2,7 +2,7 @@
 
 from .plot import ascii_chart
 from .report import check_shape, render_bars, render_figure
-from .series import Figure, Series, collect, speedup
+from .series import Figure, Series, collect, from_points, speedup
 
 __all__ = [
     "Figure",
@@ -10,6 +10,7 @@ __all__ = [
     "ascii_chart",
     "check_shape",
     "collect",
+    "from_points",
     "render_bars",
     "render_figure",
     "speedup",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 
 @dataclass
@@ -18,12 +18,28 @@ class Series:
         self.x.append(float(x))
         self.y.append(float(y))
 
-    def at(self, x: float) -> float:
-        """The y value at an exact x (raises if the point was not measured)."""
+    def at(self, x: float, tol: float = 0.0) -> float:
+        """The y value at x.
+
+        The exact match is the fast path. With ``tol > 0`` the nearest
+        measured x within ``tol`` is accepted instead (useful when x values
+        went through float arithmetic); a miss raises :class:`KeyError`
+        either way.
+        """
+        xf = float(x)
         try:
-            return self.y[self.x.index(float(x))]
+            return self.y[self.x.index(xf)]
         except ValueError:
-            raise KeyError(f"{self.name}: no point at x={x}") from None
+            pass
+        if tol > 0 and self.x:
+            nearest = min(range(len(self.x)), key=lambda i: abs(self.x[i] - xf))
+            if abs(self.x[nearest] - xf) <= tol:
+                return self.y[nearest]
+            raise KeyError(
+                f"{self.name}: no point within {tol} of x={x} "
+                f"(nearest measured x={self.x[nearest]})"
+            )
+        raise KeyError(f"{self.name}: no point at x={x}") from None
 
     def last(self) -> float:
         return self.y[-1]
@@ -52,6 +68,31 @@ def collect(results: Sequence, x_attr: str, y_attr: str, name: str) -> Series:
     out = Series(name)
     for r in results:
         out.add(getattr(r, x_attr), getattr(r, y_attr))
+    return out
+
+
+def from_points(
+    points: Sequence,
+    metric: Union[str, Callable],
+    name: str,
+    x: Optional[Callable] = None,
+) -> Series:
+    """Build a series from a sweep's ``PointResult`` list.
+
+    ``metric`` is a metric name (looked up in ``point.metrics``, falling back
+    to an attribute/property of the point) or a callable ``point -> y``. The
+    x value defaults to the point's instance count (``point.spec.n``);
+    pass ``x`` to extract something else.
+    """
+    out = Series(name)
+    for p in points:
+        if callable(metric):
+            value = metric(p)
+        elif metric in getattr(p, "metrics", {}):
+            value = p.metrics[metric]
+        else:
+            value = getattr(p, metric)
+        out.add(p.spec.n if x is None else x(p), value)
     return out
 
 

@@ -4,12 +4,16 @@ Subcommands::
 
     python -m repro deploy    --instances 16 --approach mirror
     python -m repro snapshot  --instances 16 --diff-mib 15
+    python -m repro sweep     --figure fig4 --profile quick --jobs 4
     python -m repro bonnie
     python -m repro info
 
 ``deploy`` and ``snapshot`` build a fresh simulated cluster, run the chosen
-pattern at the requested scale, and print the paper's metrics; ``bonnie``
-runs the §5.4 micro-benchmark; ``info`` dumps the active calibration.
+pattern at the requested scale, and print the paper's metrics; ``sweep``
+runs a whole figure's measurement sweep through the parallel
+:mod:`repro.runner` engine (multi-core fan-out plus the persistent result
+cache); ``bonnie`` runs the §5.4 micro-benchmark; ``info`` dumps the active
+calibration.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .calibration import DEFAULT, Calibration, ImageSpec
@@ -142,6 +147,68 @@ def cmd_bonnie(args) -> int:
     return 0
 
 
+#: figure -> (point kind, approaches swept)
+SWEEP_FIGURES = {
+    "fig4": ("deploy", ("prepropagation", "qcow2-pvfs", "mirror")),
+    "fig5": ("snapshot", ("qcow2-pvfs", "mirror")),
+}
+
+#: headline metrics printed per figure sweep
+SWEEP_METRICS = {
+    "fig4": (("avg_boot_time", "seconds"), ("completion_time", "seconds"),
+             ("total_traffic", "bytes")),
+    "fig5": (("avg_time", "seconds"), ("completion_time", "seconds")),
+}
+
+
+def cmd_sweep(args) -> int:
+    import time
+
+    from .analysis import Figure, from_points, render_figure
+    from .runner import PointSpec, ResultCache, SweepRunner, resolve_profile
+
+    profile = resolve_profile(args.profile)
+    kind, all_approaches = SWEEP_FIGURES[args.figure]
+    approaches = tuple(args.approach) or all_approaches
+    counts = tuple(args.counts) if args.counts else profile.instance_counts
+    bad = [n for n in counts if n > profile.pool_nodes]
+    if bad:
+        print(f"error: counts {bad} exceed the {profile.name} profile's "
+              f"{profile.pool_nodes}-node pool", file=sys.stderr)
+        return 2
+
+    specs = [
+        PointSpec(kind=kind, profile=profile.name, approach=a, n=n, seed=args.seed)
+        for a in approaches
+        for n in counts
+    ]
+    cache = None if args.no_cache else ResultCache(
+        Path(args.cache_dir) if args.cache_dir else None
+    )
+    runner = SweepRunner(jobs=args.jobs, cache=cache, refresh=args.refresh)
+    t0 = time.perf_counter()
+    results = runner.run(specs)
+    wall = time.perf_counter() - t0
+
+    by_approach = {a: [r for r in results if r.spec.approach == a] for a in approaches}
+    for metric, unit in SWEEP_METRICS[args.figure]:
+        fig = Figure(f"{args.figure}-{metric}", f"{args.figure} sweep: {metric}",
+                     "instances", unit)
+        for a in approaches:
+            fig.add_series(from_points(by_approach[a], metric, a))
+        print(render_figure(fig, fmt="{:14.3f}"))
+        print()
+
+    stats = runner.stats
+    rate = f", {len(specs) / wall:.2f} points/s" if wall > 0 else ""
+    print(f"sweep: {len(specs)} points ({stats.executed} simulated, "
+          f"{stats.cached} from cache) in {wall:.2f}s{rate} "
+          f"[jobs={runner.jobs}, profile={profile.name}]")
+    if cache is not None:
+        print(f"cache: {cache.root} ({len(cache)} entries)")
+    return 0
+
+
 def cmd_info(args) -> int:
     calib = DEFAULT
     print("calibration (Grid'5000 Nancy, paper §5.1):")
@@ -177,6 +244,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_snap.add_argument("--diff-mib", type=int, default=15,
                         help="local modifications per VM, in MiB")
     p_snap.set_defaults(func=cmd_snapshot)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a figure's sweep through the parallel runner"
+    )
+    p_sweep.add_argument(
+        "--figure", choices=sorted(SWEEP_FIGURES), default="fig4",
+        help="which paper figure's sweep to run",
+    )
+    p_sweep.add_argument(
+        "--profile", default="quick",
+        help="benchmark profile (paper, quick, or a registered name)",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: all cores; 1 = in-process sequential)",
+    )
+    p_sweep.add_argument(
+        "--approach", action="append", default=[],
+        choices=["mirror", "qcow2-pvfs", "prepropagation"],
+        help="restrict to one approach (repeatable; default: the figure's set)",
+    )
+    p_sweep.add_argument(
+        "--counts", type=lambda s: [int(v) for v in s.split(",")], default=None,
+        metavar="N1,N2,...", help="instance counts (default: the profile's sweep)",
+    )
+    p_sweep.add_argument("--seed", type=int, default=1, help="experiment seed")
+    p_sweep.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache entirely"
+    )
+    p_sweep.add_argument(
+        "--refresh", action="store_true",
+        help="recompute every point and refresh its cache entry",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: benchmarks/results/cache)",
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_bonnie = sub.add_parser("bonnie", help="run the §5.4 micro-benchmark")
     p_bonnie.add_argument("--image-mib", type=int, default=1024)

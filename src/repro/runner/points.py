@@ -1,0 +1,290 @@
+"""Point executors: turn a :class:`PointSpec` into a :class:`PointResult`.
+
+Each executor builds a *fresh* simulated cloud (fixed seed, no state shared
+with any other point), runs one experiment, and returns plain data. The
+executors reproduce the figure benchmarks' measurement code exactly — same
+RNG labels, same construction order — so routing a sweep through the runner
+yields bit-identical series to the old in-line loops.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+from ..cloud import build_cloud, deploy, seed_image, snapshot_all
+from ..common.errors import SimulationError
+from ..vmsim import make_image
+from ..vmsim.workloads import read_your_writes_workload
+from .profiles import BenchProfile, profile_calibration, resolve_profile
+from .spec import PointResult, PointSpec
+
+_EXECUTORS: Dict[str, Callable] = {}
+
+
+def point_kind(name: str):
+    def register(fn):
+        _EXECUTORS[name] = fn
+        return fn
+    return register
+
+
+def known_kinds() -> Tuple[str, ...]:
+    return tuple(sorted(_EXECUTORS))
+
+
+def build_point_cloud(profile: BenchProfile, seed: int, calib=None, **cloud_kw):
+    """Fresh cluster + image for one measurement point."""
+    calib = calib if calib is not None else profile_calibration(profile)
+    cloud = build_cloud(profile.pool_nodes, seed=seed, calib=calib, **cloud_kw)
+    image = make_image(
+        calib.image.size, calib.image.boot_touched_bytes, n_regions=profile.n_regions
+    )
+    return cloud, image
+
+
+def apply_diffs(cloud, image, vms, diff_bytes: int) -> None:
+    """Each running VM writes ~``diff_bytes`` of local modifications (§5.3)."""
+
+    def one(vm, i):
+        ops = read_your_writes_workload(
+            image.write_base, diff_bytes, cloud.fabric.rng.get("app-diff", i),
+            reread_fraction=0.05,
+        )
+        yield from vm.run_ops(ops)
+
+    procs = [cloud.env.process(one(vm, i)) for i, vm in enumerate(vms)]
+    cloud.run(cloud.env.all_of(procs))
+
+
+# --------------------------------------------------------------------------- #
+# executors
+# --------------------------------------------------------------------------- #
+@point_kind("deploy")
+def _run_deploy(spec: PointSpec, profile: BenchProfile, calib):
+    """One Fig. 4 measurement: deploy ``n`` instances with ``approach``."""
+    cloud, image = build_point_cloud(
+        profile, spec.seed, calib=calib,
+        fairness=spec.param("fairness", "equal-share"),
+    )
+    res = deploy(
+        cloud, image, spec.n, spec.approach,
+        mirror_prefetch=spec.param("mirror_prefetch", True),
+    )
+    metrics = {
+        "init_time": res.init_time,
+        "avg_boot_time": res.avg_boot_time,
+        "completion_time": res.completion_time,
+        "total_traffic": res.total_traffic,
+    }
+    series = {"boot_times": tuple(res.boot_times)}
+    return cloud, metrics, series
+
+
+@point_kind("snapshot")
+def _run_snapshot(spec: PointSpec, profile: BenchProfile, calib):
+    """One Fig. 5 measurement: deploy, write diffs, snapshot all."""
+    cloud, image = build_point_cloud(profile, spec.seed, calib=calib)
+    res = deploy(cloud, image, spec.n, spec.approach)
+    diff_bytes = spec.param("diff_bytes", profile.diff_bytes)
+    apply_diffs(cloud, image, res.vms, diff_bytes)
+    snap = snapshot_all(cloud, res.vms, spec.approach)
+    metrics = {
+        "avg_time": snap.avg_time,
+        "completion_time": snap.completion_time,
+        "total_bytes_moved": snap.total_bytes_moved,
+        "deploy_completion_time": res.completion_time,
+    }
+    series = {"snapshot_durations": tuple(s.duration for s in snap.per_instance)}
+    return cloud, metrics, series
+
+
+@point_kind("bonnie")
+def _run_bonnie(spec: PointSpec, profile: BenchProfile, calib):
+    """The §5.4 Bonnie++ run; ``approach`` is ``local`` or ``mirror``."""
+    from ..vmsim import BonnieBenchmark
+    from ..vmsim.backends import LocalRawBackend, MirrorBackend
+
+    cloud, image = build_point_cloud(profile, spec.seed, calib=calib)
+    idents = seed_image(cloud, image)
+    node = cloud.compute[0]
+    fuse = cloud.calib.fuse
+    if spec.approach == "local":
+        f = node.create_file("/local/image.raw", image.size)
+        f.write(0, image.payload)
+        backend = LocalRawBackend(node, "/local/image.raw", fuse)
+        data_op, meta_op = fuse.local_data_op_overhead, fuse.local_per_op_overhead
+    elif spec.approach == "mirror":
+        rec = idents["blobseer"]
+        backend = MirrorBackend(node, cloud.blobseer, rec.blob_id, rec.version, fuse)
+        data_op, meta_op = fuse.data_op_overhead, fuse.per_op_overhead
+    else:
+        raise SimulationError(
+            f"bonnie approach must be 'local' or 'mirror', got {spec.approach!r}"
+        )
+    base = image.size // 2  # working set in the free half of the image
+    bench = BonnieBenchmark(
+        backend, data_op, meta_op,
+        working_set=profile.bonnie_working_set, base_offset=base,
+    )
+    out = {}
+
+    def master():
+        yield from backend.open()
+        out["results"] = yield from bench.run()
+
+    cloud.run(cloud.env.process(master(), name=f"bonnie-{spec.approach}"))
+    r = out["results"]
+    metrics = {
+        "block_write_kbps": r.block_write_kbps,
+        "block_read_kbps": r.block_read_kbps,
+        "block_overwrite_kbps": r.block_overwrite_kbps,
+        "rnd_seek_ops": r.rnd_seek_ops,
+        "create_ops": r.create_ops,
+        "delete_ops": r.delete_ops,
+        "payload_traffic": cloud.metrics.traffic.get("payload", 0),
+    }
+    return cloud, metrics, {}
+
+
+def _mc_config(profile: BenchProfile, calib, image):
+    from ..vmsim import MonteCarloConfig
+
+    return MonteCarloConfig(
+        total_compute=profile.mc_total_compute,
+        checkpoint_interval=profile.mc_total_compute / 10,
+        state_bytes=calib.snapshot.montecarlo_state_bytes,
+        state_offset=image.write_base,
+    )
+
+
+def _run_mc_workers(cloud, workers, until=None):
+    procs = [cloud.env.process(w.run(until_progress=until)) for w in workers]
+    cloud.run(cloud.env.all_of(procs))
+
+
+@point_kind("montecarlo")
+def _run_montecarlo(spec: PointSpec, profile: BenchProfile, calib):
+    """The §5.5 Monte Carlo application; param ``mode`` picks the setting:
+
+    * ``uninterrupted`` (default) — deploy and run to completion;
+    * ``suspend-resume`` — run half-way, multisnapshot, terminate, redeploy
+      on different nodes, resume from the saved intermediate result.
+    """
+    from ..vmsim import MonteCarloWorker
+
+    mode = spec.param("mode", "uninterrupted")
+    cloud, image = build_point_cloud(profile, spec.seed, calib=calib)
+    n = min(profile.mc_workers, profile.pool_nodes)
+    cfg = _mc_config(profile, calib, image)
+
+    if mode == "uninterrupted":
+        res = deploy(cloud, image, n, spec.approach)
+        workers = [MonteCarloWorker(vm.name, vm.backend, cfg) for vm in res.vms]
+        _run_mc_workers(cloud, workers)
+        if not all(w.finished for w in workers):
+            raise SimulationError("montecarlo: not every worker finished")
+    elif mode == "suspend-resume":
+        _montecarlo_suspend_resume(spec, profile, cloud, image, cfg, n)
+    else:
+        raise SimulationError(
+            f"montecarlo mode must be 'uninterrupted' or 'suspend-resume', "
+            f"got {mode!r}"
+        )
+    metrics = {"completion_time": cloud.env.now, "workers": n}
+    return cloud, metrics, {}
+
+
+def _montecarlo_suspend_resume(spec, profile, cloud, image, cfg, n):
+    from ..baselines.qcow2 import Qcow2Image
+    from ..cloud.middleware import CloudMiddleware
+    from ..vmsim import MonteCarloWorker, boot_trace
+    from ..vmsim.backends import Qcow2PvfsBackend
+    from ..vmsim.hypervisor import VMInstance
+
+    half = profile.mc_total_compute / 2
+    mw = CloudMiddleware(cloud)
+    res = mw.deploy_set(image, n, spec.approach)
+    workers = [MonteCarloWorker(vm.name, vm.backend, cfg) for vm in res.vms]
+    _run_mc_workers(cloud, workers, until=half)
+    if not all(w.progress == half for w in workers):
+        raise SimulationError("montecarlo: workers did not reach half progress")
+
+    campaign = snapshot_all(cloud, res.vms, spec.approach)
+    mw.terminate_set(res.vms)
+
+    # resume on different nodes: shifted placement over the pool
+    shift = max(1, profile.pool_nodes - n)
+    fresh = [cloud.compute[(i + shift) % profile.pool_nodes] for i in range(n)]
+    boot_model = cloud.calib.boot
+
+    if spec.approach == "mirror":
+        resumed = mw.resume_set(list(campaign.per_instance), fresh)
+    else:
+        resumed = []
+        for i, (snap, node) in enumerate(zip(campaign.per_instance, fresh)):
+            # download the qcow2 snapshot file from PVFS, reopen it locally
+            src_backend = res.vms[i].backend
+            backend = Qcow2PvfsBackend(
+                node, cloud.pvfs, "/images/initial.raw", cloud.calib.fuse,
+                cluster_size=src_backend.image.cluster_size,
+            )
+
+            def fetch(backend=backend, snap=snap, src=src_backend):
+                payload = yield from backend.client.read(snap.ident, 0, snap.bytes_moved)
+                _, index = src.image.serialize()
+                backend.image = Qcow2Image.deserialize(
+                    payload, index, image.size,
+                    backing_read=backend.image.backing_read,
+                    cluster_size=src.image.cluster_size,
+                )
+
+            cloud.run(cloud.env.process(fetch(), name=f"resume-fetch-{i}"))
+            resumed.append(
+                VMInstance(
+                    f"resumed-{i:03d}", node, backend, boot_model,
+                    cloud.fabric.rng.get("vm-resume", i),
+                )
+            )
+
+    # reboot the resumed instances (fresh nodes: everything remote again)
+    boots = []
+    for i, vm in enumerate(resumed):
+        trace = boot_trace(image, boot_model, cloud.fabric.rng.get("trace-resume", i))
+        boots.append(cloud.env.process(vm.boot(trace), name=f"reboot-{vm.name}"))
+    cloud.run(cloud.env.all_of(boots))
+
+    new_workers = [MonteCarloWorker(vm.name, vm.backend, cfg) for vm in resumed]
+    _run_mc_workers(cloud, new_workers)
+    if not all(w.finished for w in new_workers):
+        raise SimulationError("montecarlo resume: not every worker finished")
+    # end-to-end: progress really came from the snapshot, not from scratch
+    if not all(w.progress == profile.mc_total_compute for w in new_workers):
+        raise SimulationError("montecarlo resume: progress lost across snapshot")
+
+
+# --------------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------------- #
+def execute_point(spec: PointSpec) -> PointResult:
+    """Run one spec in-process and return its structured result."""
+    try:
+        executor = _EXECUTORS[spec.kind]
+    except KeyError:
+        raise SimulationError(
+            f"unknown point kind {spec.kind!r}; known kinds: "
+            f"{', '.join(known_kinds())}"
+        ) from None
+    profile = resolve_profile(spec.profile)
+    calib = profile_calibration(profile, spec.overrides)
+    t0 = time.perf_counter()
+    cloud, metrics, series = executor(spec, profile, calib)
+    wall = time.perf_counter() - t0
+    return PointResult(
+        spec=spec,
+        metrics=metrics,
+        series=series,
+        counters=dict(cloud.metrics.counters),
+        event_count=cloud.env.event_count,
+        wall_s=round(wall, 6),
+    )

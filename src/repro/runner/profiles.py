@@ -1,0 +1,141 @@
+"""Benchmark profiles: named parameter sets for the paper's sweeps.
+
+A :class:`BenchProfile` pins everything a measurement point needs beyond the
+calibration constants: pool size, the instance counts the figure sweeps,
+image geometry, and the workload knobs of the §5.4/§5.5 experiments. Two
+profiles ship by default:
+
+* ``paper`` — the full §5.1 setup: 120-node pool, 2 GiB image, 256 KiB
+  chunks, up to 110 concurrent instances;
+* ``quick`` — a scaled-down profile for smoke-testing the harness
+  (``REPRO_BENCH_PROFILE=quick``).
+
+Profiles are resolved *by name* so a :class:`~repro.runner.spec.PointSpec`
+stays a small picklable value that worker processes can reconstruct.
+Ad-hoc profiles (ablations, tests) register themselves with
+:func:`register_profile` before the sweep fans out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..calibration import DEFAULT, Calibration, ImageSpec
+from ..common.units import KiB, MiB
+
+#: environment variable selecting the benchmark profile
+PROFILE_ENV = "REPRO_BENCH_PROFILE"
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    name: str
+    pool_nodes: int
+    instance_counts: tuple
+    image_size: int
+    chunk_size: int
+    touched_bytes: int
+    n_regions: int
+    diff_bytes: int
+    mc_workers: int
+    mc_total_compute: float
+    bonnie_working_set: int
+
+
+PAPER = BenchProfile(
+    name="paper",
+    pool_nodes=120,
+    instance_counts=(1, 20, 40, 60, 80, 110),
+    image_size=DEFAULT.image.size,          # 2 GiB
+    chunk_size=DEFAULT.image.chunk_size,    # 256 KiB
+    touched_bytes=DEFAULT.image.boot_touched_bytes,  # ~109 MiB
+    n_regions=64,
+    diff_bytes=DEFAULT.snapshot.diff_bytes,  # 15 MiB
+    mc_workers=100,
+    mc_total_compute=1000.0,
+    bonnie_working_set=800 * MiB,
+)
+
+QUICK = BenchProfile(
+    name="quick",
+    pool_nodes=24,
+    instance_counts=(1, 8, 16, 24),
+    image_size=512 * MiB,
+    chunk_size=256 * KiB,
+    touched_bytes=32 * MiB,
+    n_regions=32,
+    diff_bytes=6 * MiB,
+    mc_workers=16,
+    mc_total_compute=120.0,
+    bonnie_working_set=128 * MiB,
+)
+
+_REGISTRY: Dict[str, BenchProfile] = {PAPER.name: PAPER, QUICK.name: QUICK}
+
+
+def register_profile(profile: BenchProfile) -> BenchProfile:
+    """Register (or replace) a profile so specs can resolve it by name."""
+    _REGISTRY[profile.name] = profile
+    return profile
+
+
+def known_profiles() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_profile(name: str) -> BenchProfile:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark profile {name!r}; known profiles: "
+            f"{', '.join(known_profiles())}"
+        ) from None
+
+
+def active_profile() -> BenchProfile:
+    """The profile selected by ``REPRO_BENCH_PROFILE`` (default ``paper``).
+
+    An unrecognized value raises instead of silently falling back to the
+    full paper profile (a typo like ``qiuck`` used to cost minutes of
+    unintended wall time).
+    """
+    value = os.environ.get(PROFILE_ENV)
+    if value is None or value == "":
+        return PAPER
+    if value not in _REGISTRY:
+        raise ValueError(
+            f"unrecognized {PROFILE_ENV}={value!r}; known profiles: "
+            f"{', '.join(known_profiles())}"
+        )
+    return _REGISTRY[value]
+
+
+def apply_overrides(calib: Calibration, overrides: Iterable[tuple]) -> Calibration:
+    """Return ``calib`` with ``("section.field", value)`` overrides applied."""
+    for path, value in overrides:
+        try:
+            section_name, field_name = path.split(".", 1)
+            section = getattr(calib, section_name)
+            section = dataclasses.replace(section, **{field_name: value})
+        except (ValueError, AttributeError, TypeError):
+            raise ValueError(f"bad calibration override {path!r}") from None
+        calib = dataclasses.replace(calib, **{section_name: section})
+    return calib
+
+
+def profile_calibration(
+    profile: BenchProfile, overrides: Iterable[tuple] = ()
+) -> Calibration:
+    """The calibration a profile's points run under (plus spec overrides)."""
+    calib = Calibration(
+        image=ImageSpec(
+            size=profile.image_size,
+            chunk_size=profile.chunk_size,
+            boot_touched_bytes=profile.touched_bytes,
+        )
+    )
+    return apply_overrides(calib, overrides)

@@ -4,7 +4,15 @@ import math
 
 import pytest
 
-from repro.analysis import Figure, Series, check_shape, render_bars, render_figure, speedup
+from repro.analysis import (
+    Figure,
+    Series,
+    check_shape,
+    from_points,
+    render_bars,
+    render_figure,
+    speedup,
+)
 
 
 class TestSeries:
@@ -39,6 +47,82 @@ class TestSeries:
         down.add(1, 1.0)
         assert not down.is_monotonic_nondecreasing()
         assert down.is_monotonic_nondecreasing(tolerance=1.5)
+
+
+class TestSeriesAtTolerance:
+    def _series(self):
+        s = Series("s")
+        s.add(1.0, 10.0)
+        s.add(2.0, 20.0)
+        return s
+
+    def test_exact_match_wins_even_with_tol(self):
+        s = self._series()
+        s.add(2.05, 99.0)
+        assert s.at(2.0, tol=0.1) == 20.0
+
+    def test_nearest_within_tol(self):
+        s = self._series()
+        assert s.at(2.04, tol=0.1) == 20.0
+        assert s.at(0.96, tol=0.1) == 10.0
+
+    def test_near_miss_outside_tol_raises(self):
+        s = self._series()
+        with pytest.raises(KeyError, match="nearest measured"):
+            s.at(2.5, tol=0.1)
+
+    def test_zero_tol_keeps_strict_lookup(self):
+        with pytest.raises(KeyError):
+            self._series().at(2.0000001)
+
+    def test_empty_series_raises(self):
+        with pytest.raises(KeyError):
+            Series("empty").at(1.0, tol=10.0)
+
+
+class _FakePoint:
+    """Shape-compatible stand-in for a runner PointResult."""
+
+    def __init__(self, n, metrics=None, **attrs):
+        self.spec = type("Spec", (), {"n": n})()
+        self.metrics = metrics or {}
+        for name, value in attrs.items():
+            setattr(self, name, value)
+
+
+class TestFromPoints:
+    def test_metric_name_from_metrics_dict(self):
+        points = [_FakePoint(1, {"avg_boot_time": 2.0}),
+                  _FakePoint(10, {"avg_boot_time": 3.0})]
+        s = from_points(points, "avg_boot_time", "boot")
+        assert s.name == "boot"
+        assert s.x == [1.0, 10.0]
+        assert s.y == [2.0, 3.0]
+
+    def test_metric_attribute_fallback(self):
+        points = [_FakePoint(1, completion_time=5.0)]
+        s = from_points(points, "completion_time", "done")
+        assert s.y == [5.0]
+
+    def test_metric_callable(self):
+        points = [_FakePoint(2, {"total_traffic": 100.0})]
+        s = from_points(points, lambda p: p.metrics["total_traffic"] / 2, "half")
+        assert s.y == [50.0]
+
+    def test_custom_x_extractor(self):
+        points = [_FakePoint(1, {"m": 7.0}, seed=4)]
+        s = from_points(points, "m", "by-seed", x=lambda p: p.seed)
+        assert s.x == [4.0]
+
+    def test_real_point_result(self):
+        from repro.runner import PointResult, PointSpec
+
+        spec = PointSpec(kind="deploy", profile="quick", approach="mirror", n=5)
+        point = PointResult(spec=spec, metrics={"avg_boot_time": 1.5},
+                            series={"boot_times": (1.5,)}, counters={},
+                            event_count=1, wall_s=0.0)
+        s = from_points([point], "avg_boot_time", "boot")
+        assert s.x == [5.0] and s.y == [1.5]
 
 
 class TestSpeedup:

@@ -1,0 +1,26 @@
+"""Fixtures for the sweep-runner tests: a tiny registered profile."""
+
+import pytest
+
+from repro.common.units import KiB, MiB
+from repro.runner import BenchProfile, register_profile
+
+#: small enough that one deploy point simulates in tens of milliseconds
+MICRO = BenchProfile(
+    name="micro-test",
+    pool_nodes=6,
+    instance_counts=(1, 2),
+    image_size=64 * MiB,
+    chunk_size=256 * KiB,
+    touched_bytes=8 * MiB,
+    n_regions=16,
+    diff_bytes=2 * MiB,
+    mc_workers=3,
+    mc_total_compute=10.0,
+    bonnie_working_set=8 * MiB,
+)
+
+
+@pytest.fixture
+def micro_profile():
+    return register_profile(MICRO)

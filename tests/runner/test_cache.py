@@ -1,0 +1,119 @@
+"""Result cache: content keys, hit/miss, invalidation, replay fidelity."""
+
+import pytest
+
+import repro.runner.cache as cache_mod
+from repro.runner import (
+    PointSpec,
+    ResultCache,
+    SweepRunner,
+    execute_point,
+    point_key,
+)
+
+
+def _spec(n=1, **kw):
+    return PointSpec(kind="deploy", profile="micro-test", approach="mirror",
+                     n=n, seed=1, **kw)
+
+
+class TestPointKey:
+    def test_stable_for_equal_specs(self, micro_profile):
+        assert point_key(_spec()) == point_key(_spec())
+
+    def test_changes_with_spec_fields(self, micro_profile):
+        base = point_key(_spec())
+        assert point_key(_spec(n=2)) != base
+        assert point_key(PointSpec(kind="deploy", profile="micro-test",
+                                   approach="mirror", n=1, seed=2)) != base
+
+    def test_changes_on_calibration_override(self, micro_profile):
+        assert point_key(_spec()) != point_key(
+            _spec(overrides=(("image.chunk_size", 65536),))
+        )
+
+    def test_changes_on_code_version(self, micro_profile, monkeypatch):
+        before = point_key(_spec())
+        monkeypatch.setattr(cache_mod, "CODE_VERSION", "sweep-cache-v999")
+        assert point_key(_spec()) != before
+
+    def test_changes_on_profile_content(self, micro_profile):
+        """Re-registering a profile with different fields invalidates keys."""
+        import dataclasses
+
+        from repro.runner import register_profile
+
+        before = point_key(_spec())
+        try:
+            register_profile(dataclasses.replace(micro_profile, pool_nodes=7))
+            assert point_key(_spec()) != before
+        finally:
+            register_profile(micro_profile)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, micro_profile, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        assert cache.lookup(spec) is None
+        result = execute_point(spec)
+        cache.store(result)
+        replay = cache.lookup(spec)
+        assert replay is not None
+        assert replay.cached
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_replay_is_bit_identical(self, micro_profile, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = execute_point(_spec())
+        cache.store(result)
+        replay = cache.lookup(_spec())
+        assert replay.metrics == result.metrics
+        assert replay.series == result.series
+        assert replay.counters == result.counters
+        assert replay.event_count == result.event_count
+
+    def test_calibration_change_misses(self, micro_profile, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(execute_point(_spec()))
+        assert cache.lookup(_spec(overrides=(("image.chunk_size", 65536),))) is None
+
+    def test_corrupt_entry_is_a_miss(self, micro_profile, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        path = cache.store(execute_point(spec))
+        path.write_text("{not json")
+        assert cache.lookup(spec) is None
+
+    def test_clear(self, micro_profile, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(execute_point(_spec()))
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestRunnerCacheIntegration:
+    def test_second_run_executes_nothing(self, micro_profile, tmp_path):
+        specs = [_spec(n=1), _spec(n=2)]
+        first = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        a = first.run(specs)
+        assert first.stats.executed == 2 and first.stats.cached == 0
+
+        second = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        b = second.run(specs)
+        assert second.stats.executed == 0 and second.stats.cached == 2
+        for x, y in zip(a, b):
+            assert x.metrics == y.metrics and x.series == y.series
+            assert y.cached
+
+    def test_refresh_recomputes_and_restores(self, micro_profile, tmp_path):
+        specs = [_spec()]
+        SweepRunner(jobs=1, cache=ResultCache(tmp_path)).run(specs)
+        refresher = SweepRunner(jobs=1, cache=ResultCache(tmp_path), refresh=True)
+        refresher.run(specs)
+        assert refresher.stats.executed == 1 and refresher.stats.cached == 0
+        # the refreshed entry is still replayable afterwards
+        replay = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        replay.run(specs)
+        assert replay.stats.cached == 1

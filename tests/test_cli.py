@@ -58,3 +58,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "nic_bandwidth" in out
         assert "chunk_size" in out
+
+
+class TestSweep:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.figure == "fig4"
+        assert args.profile == "quick"
+        assert args.jobs is None
+        assert args.approach == []
+        assert not args.no_cache and not args.refresh
+
+    def test_counts_parsed_as_ints(self):
+        args = build_parser().parse_args(["sweep", "--counts", "1,2,8"])
+        assert args.counts == [1, 2, 8]
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--figure", "fig9"])
+
+    def test_counts_beyond_pool_fail(self, capsys):
+        rc = main(["sweep", "--figure", "fig4", "--profile", "quick",
+                   "--counts", "100000", "--no-cache"])
+        assert rc == 2
+        assert "exceed" in capsys.readouterr().err
+
+    def test_quick_sweep_runs(self, capsys):
+        rc = main(["sweep", "--figure", "fig4", "--profile", "quick",
+                   "--approach", "mirror", "--counts", "1", "--jobs", "1",
+                   "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "avg_boot_time" in out
+        assert "1 points (1 simulated, 0 from cache)" in out
+        assert "jobs=1" in out and "profile=quick" in out
+
+    def test_sweep_uses_cache_dir(self, capsys, tmp_path):
+        argv = ["sweep", "--figure", "fig4", "--profile", "quick",
+                "--approach", "mirror", "--counts", "1", "--jobs", "1",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "(1 simulated, 0 from cache)" in first
+        assert str(tmp_path) in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "(0 simulated, 1 from cache)" in second
