@@ -5,8 +5,8 @@
 install:
 	pip install -e . || python setup.py develop
 
-test:
-	pytest tests/
+test:            ## tier-1 test suite (what CI runs)
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:           ## full paper-profile figure reproduction (~25 min)
 	pytest benchmarks/ --benchmark-only
@@ -27,6 +27,6 @@ examples:
 	python examples/debug_cloning.py
 	python examples/montecarlo_suspend_resume.py
 
-clean:
-	rm -rf .pytest_cache benchmarks/results src/repro.egg-info
+clean:           ## drop caches only; tracked figure artifacts stay put
+	rm -rf .pytest_cache benchmarks/results/cache src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..common.errors import ProviderUnavailableError, StorageError
+from ..common.errors import ChunkNotFoundError, ProviderUnavailableError, StorageError
 from ..common.payload import Payload
 from ..simkit import rpc
+from ..simkit.core import Timeout
 from ..simkit.host import Host
 from .metadata import ChunkRef, NodeId, TreeNode, capacity_for, write_chunks
 from .vmanager import SnapshotRecord
@@ -76,6 +77,9 @@ class BlobClient:
         cache = self._node_cache
         missing = [nid for nid in ids if nid not in cache]
         if missing:
+            if self.deployment.retry is not None:
+                yield from self._get_nodes_resilient(missing)
+                return cache
             by_shard: Dict[Host, List[NodeId]] = {}
             for nid in missing:
                 by_shard.setdefault(self.deployment.shard_host(nid), []).append(nid)
@@ -87,6 +91,249 @@ class BlobClient:
             for batch in batches:
                 cache.update(batch)
         return cache
+
+    # ------------------------------------------------------------------ #
+    # resilience (active only when the deployment carries a RetryPolicy;
+    # with ``retry=None`` none of these run and the legacy paths above
+    # execute byte-identically)
+    # ------------------------------------------------------------------ #
+    def _call_with_timeout(
+        self, callee: Host, service_name: str, method: str, *args,
+        request_bytes: int = rpc.REQUEST_BYTES,
+    ):
+        """``rpc.call`` bounded by the retry policy's per-RPC deadline.
+
+        The call runs in a child process raced against a timeout; on
+        expiry the child is interrupted (its in-flight flow is abandoned)
+        and the caller sees :class:`ProviderUnavailableError`, exactly like
+        a fail-stop crash — so one failover path covers both.
+        """
+        policy = self.deployment.retry
+        env = self.host.env
+        proc = env.process(
+            rpc.call(
+                self.host, callee, service_name, method, *args,
+                request_bytes=request_bytes,
+            ),
+            name=f"rpc-{method}@{callee.name}",
+        )
+        deadline = Timeout(env, policy.rpc_timeout)
+        yield env.any_of((proc, deadline))
+        if proc.triggered:
+            if proc.ok:
+                return proc.value
+            raise proc.value  # failed in the same timestep the deadline fired
+        proc.interrupt("rpc-timeout")
+        raise ProviderUnavailableError(
+            f"{callee.name}: {method} timed out after {policy.rpc_timeout:g}s"
+        )
+
+    def _get_nodes_resilient(self, missing: Sequence[NodeId]):
+        """Metadata fetch with multi-home failover + bounded backoff.
+
+        Attempt ``a`` asks node ``nid``'s home of rank ``a mod k`` (the
+        primary first), so a lost shard redirects its nodes to the replica
+        homes while untouched shards keep serving their primaries.
+        """
+        dep = self.deployment
+        policy = dep.retry
+        metrics = self.host.fabric.metrics
+        cache = self._node_cache
+        pending: List[NodeId] = list(missing)
+        for attempt in range(policy.attempts):
+            by_shard: Dict[Host, List[NodeId]] = {}
+            for nid in pending:
+                homes = dep.shard_hosts(nid)
+                by_shard.setdefault(homes[attempt % len(homes)], []).append(nid)
+
+            def guarded(shard: Host, shard_ids: List[NodeId]):
+                try:
+                    batch = yield from self._call_with_timeout(
+                        shard, "blob-meta", "get_nodes", shard_ids
+                    )
+                except (ProviderUnavailableError, ChunkNotFoundError):
+                    return None
+                return batch
+
+            groups = list(by_shard.items())
+            batches = yield from self._parallel(
+                [guarded(shard, shard_ids) for shard, shard_ids in groups]
+            )
+            pending = []
+            for batch, (_shard, shard_ids) in zip(batches, groups):
+                if batch is None:
+                    pending.extend(shard_ids)
+                else:
+                    cache.update(batch)
+            if not pending:
+                return cache
+            metrics.count("meta-retry")
+            yield self.host.env.timeout(policy.delay_for(attempt))
+        raise ProviderUnavailableError(
+            f"metadata nodes {pending[:5]} unreachable after "
+            f"{policy.attempts} attempts"
+        )
+
+    def _fetch_refs_resilient(self, refs: Dict[int, ChunkRef]):
+        """Chunk fetch with replica failover + bounded backoff.
+
+        Attempt ``a`` reads each still-missing chunk from its replica of
+        rank ``a mod k``, batched per provider; failed groups roll over to
+        the next attempt after an exponential-backoff delay.
+        """
+        dep = self.deployment
+        policy = dep.retry
+        metrics = self.host.fabric.metrics
+        out: Dict[int, Payload] = {}
+        pending: List[int] = sorted(refs)
+        if not pending:
+            return out
+        for attempt in range(policy.attempts):
+            by_provider: Dict[str, List[int]] = {}
+            for idx in pending:
+                providers = refs[idx].providers
+                by_provider.setdefault(providers[attempt % len(providers)], []).append(idx)
+
+            def guarded(provider_name: str, indices: List[int]):
+                keys = [refs[i].key for i in indices]
+                provider = dep.fabric.hosts[provider_name]
+                try:
+                    combined = yield from self._call_with_timeout(
+                        provider, "blob-data", "get_chunks", keys
+                    )
+                except (ProviderUnavailableError, ChunkNotFoundError):
+                    return None
+                group: Dict[int, Payload] = {}
+                cursor = 0
+                for i in indices:
+                    size = refs[i].size
+                    group[i] = combined.slice(cursor, cursor + size)
+                    cursor += size
+                return group
+
+            work = sorted(by_provider.items())
+            groups = yield from self._parallel(
+                [guarded(name, indices) for name, indices in work]
+            )
+            pending = []
+            for group, (_name, indices) in zip(groups, work):
+                if group is None:
+                    pending.extend(indices)
+                else:
+                    out.update(group)
+            if not pending:
+                return out
+            pending.sort()
+            metrics.count("fetch-retry")
+            yield self.host.env.timeout(policy.delay_for(attempt))
+        raise ProviderUnavailableError(
+            f"chunks {pending[:5]} unreachable on every replica after "
+            f"{policy.attempts} attempts"
+        )
+
+    def _put_replicated(self, new_refs: Dict[int, ChunkRef], updates: Dict[int, Payload]):
+        """Replicated chunk PUTs under a retry policy and/or chain pipelining.
+
+        * ``parallel`` mode — the client streams each replica group itself,
+          retrying per provider with backoff. Providers that stay dead are
+          pruned from the affected :class:`ChunkRef`\\ s (the write degrades
+          to fewer replicas instead of failing); only a chunk with *zero*
+          surviving replicas aborts the commit.
+        * ``pipeline`` mode — each replica set is written once through a
+          store-and-forward chain starting at its head; on failure the chain
+          is retried rotated one rank (idempotent provider puts make the
+          resend safe).
+
+        Returns the (possibly pruned) refs to record in the metadata.
+        """
+        dep = self.deployment
+        policy = dep.retry
+        env = self.host.env
+        metrics = self.host.fabric.metrics
+        attempts = policy.attempts if policy is not None else 1
+
+        if dep.replica_write_mode == "pipeline":
+            by_chain: Dict[Tuple[str, ...], List[int]] = {}
+            for idx in sorted(new_refs):
+                by_chain.setdefault(new_refs[idx].providers, []).append(idx)
+
+            def put_chain(chain: Tuple[str, ...], indices: List[int]):
+                items = [(new_refs[i].key, updates[i]) for i in indices]
+                total = sum(p.size for _, p in items)
+                for attempt in range(attempts):
+                    shift = attempt % len(chain)
+                    rotated = chain[shift:] + chain[:shift]
+                    head = dep.fabric.hosts[rotated[0]]
+                    try:
+                        if policy is not None:
+                            yield from self._call_with_timeout(
+                                head, "blob-data", "put_chunks_chain",
+                                items, rotated[1:],
+                                request_bytes=total + 64 * len(items),
+                            )
+                        else:
+                            yield from rpc.call(
+                                self.host, head, "blob-data", "put_chunks_chain",
+                                items, rotated[1:],
+                                request_bytes=total + 64 * len(items),
+                            )
+                        return
+                    except (ProviderUnavailableError, ChunkNotFoundError):
+                        if policy is None or attempt + 1 == attempts:
+                            raise
+                        metrics.count("put-retry")
+                        yield env.timeout(policy.delay_for(attempt))
+
+            yield from self._parallel(
+                [put_chain(chain, idxs) for chain, idxs in sorted(by_chain.items())]
+            )
+            return new_refs
+
+        # parallel mode with retries + replica pruning
+        by_provider: Dict[str, List[int]] = {}
+        for idx in sorted(new_refs):
+            for name in new_refs[idx].providers:
+                by_provider.setdefault(name, []).append(idx)
+
+        def put_group(provider_name: str, indices: List[int]):
+            items = [(new_refs[i].key, updates[i]) for i in indices]
+            total = sum(p.size for _, p in items)
+            provider = dep.fabric.hosts[provider_name]
+            for attempt in range(attempts):
+                try:
+                    yield from self._call_with_timeout(
+                        provider, "blob-data", "put_chunks", items,
+                        request_bytes=total + 64 * len(items),
+                    )
+                    return True
+                except (ProviderUnavailableError, ChunkNotFoundError):
+                    if attempt + 1 < attempts:
+                        metrics.count("put-retry")
+                        yield env.timeout(policy.delay_for(attempt))
+            return False
+
+        work = sorted(by_provider.items())
+        results = yield from self._parallel(
+            [put_group(name, indices) for name, indices in work]
+        )
+        dead = {name for ok, (name, _) in zip(results, work) if not ok}
+        if not dead:
+            return new_refs
+        pruned: Dict[int, ChunkRef] = {}
+        n_pruned = 0
+        for idx, ref in new_refs.items():
+            kept = tuple(p for p in ref.providers if p not in dead)
+            if not kept:
+                raise ProviderUnavailableError(
+                    f"chunk {idx}: every replica target "
+                    f"{ref.providers} failed during write"
+                )
+            if len(kept) != len(ref.providers):
+                n_pruned += 1
+                ref = ChunkRef(ref.key, kept, ref.size)
+            pruned[idx] = ref
+        metrics.count("replica-pruned", n_pruned)
+        return pruned
 
     def _refs_for_range(self, root: Optional[NodeId], c_lo: int, c_hi: int):
         """Traverse the segment tree level by level, fetching nodes in batches.
@@ -133,7 +380,7 @@ class BlobClient:
         )
         return blob_id
 
-    def upload(self, blob_id: int, payload: Payload, replication: int = 1):
+    def upload(self, blob_id: int, payload: Payload, replication: Optional[int] = None):
         """Stripe full content onto the providers; returns the snapshot record."""
         snap = yield from self._lookup_snapshot(blob_id, LATEST)
         n_chunks = -(-snap.size // snap.chunk_size)
@@ -172,6 +419,9 @@ class BlobClient:
 
     def fetch_refs(self, refs: Dict[int, ChunkRef]):
         """Fetch the chunks described by ``refs``, grouped per provider, in parallel."""
+        if self.deployment.retry is not None:
+            result = yield from self._fetch_refs_resilient(refs)
+            return result
         by_provider: Dict[str, List[int]] = {}
         for idx, ref in refs.items():
             by_provider.setdefault(ref.providers[0], []).append(idx)
@@ -218,7 +468,7 @@ class BlobClient:
         blob_id: int,
         updates: Dict[int, Payload],
         base_version: Optional[int] = None,
-        replication: int = 1,
+        replication: Optional[int] = None,
     ):
         """COMMIT data path: write whole chunks, publish a new snapshot.
 
@@ -232,6 +482,8 @@ class BlobClient:
         manager's content index before allocating providers.
         """
         dep = self.deployment
+        if replication is None:
+            replication = dep.replication_factor
         snap = yield from self._lookup_snapshot(blob_id, base_version)
         for idx, payload in updates.items():
             expected = min(snap.chunk_size, snap.size - idx * snap.chunk_size)
@@ -260,26 +512,34 @@ class BlobClient:
             len(indices), snap.chunk_size, replication,
         )
 
-        # 2. parallel chunk PUTs (to every replica), grouped per provider
+        # 2. chunk PUTs to every replica
         new_refs: Dict[int, ChunkRef] = {}
-        by_provider: Dict[str, List[Tuple[int, Payload]]] = {}
         for idx, providers in zip(indices, placements):
             key = dep.minter.mint_one()
             new_refs[idx] = ChunkRef(key, tuple(providers), updates[idx].size)
-            for name in providers:
-                by_provider.setdefault(name, []).append((key, updates[idx]))
 
-        def put_group(provider_name: str, items: List[Tuple[int, Payload]]):
-            provider = dep.fabric.hosts[provider_name]
-            total = sum(p.size for _, p in items)
-            yield from rpc.call(
-                self.host, provider, "blob-data", "put_chunks", items,
-                request_bytes=total + 64 * len(items),
+        if dep.retry is None and dep.replica_write_mode == "parallel":
+            # Original path: parallel fan-out grouped per provider, no
+            # timeouts, fail-fast (byte-identical to the pre-fault code).
+            by_provider: Dict[str, List[Tuple[int, Payload]]] = {}
+            for idx in indices:
+                ref = new_refs[idx]
+                for name in ref.providers:
+                    by_provider.setdefault(name, []).append((ref.key, updates[idx]))
+
+            def put_group(provider_name: str, items: List[Tuple[int, Payload]]):
+                provider = dep.fabric.hosts[provider_name]
+                total = sum(p.size for _, p in items)
+                yield from rpc.call(
+                    self.host, provider, "blob-data", "put_chunks", items,
+                    request_bytes=total + 64 * len(items),
+                )
+
+            yield from self._parallel(
+                [put_group(p, items) for p, items in sorted(by_provider.items())]
             )
-
-        yield from self._parallel(
-            [put_group(p, items) for p, items in sorted(by_provider.items())]
-        )
+        else:
+            new_refs = yield from self._put_replicated(new_refs, updates)
 
         # register freshly pushed content, then fold in deduplicated refs
         if dep.dedup_index is not None:
@@ -287,21 +547,45 @@ class BlobClient:
                 dep.dedup_index.setdefault(payload, new_refs[idx])
         new_refs.update(dedup_refs)
 
-        # 3. metadata: build the shadowed tree, scatter new nodes to shards
+        # 3. metadata: build the shadowed tree, scatter new nodes to every
+        # home shard (one home per node unless meta_replication > 1)
         n_chunks = -(-snap.size // snap.chunk_size)
         before = len(dep.metadata)
         new_root = write_chunks(dep.metadata, snap.root, new_refs, n_chunks)
         new_node_ids = range(before, len(dep.metadata))
         by_shard: Dict[Host, Dict[NodeId, TreeNode]] = {}
         for nid in new_node_ids:
-            by_shard.setdefault(dep.shard_host(nid), {})[nid] = dep.metadata.get(nid)
+            node = dep.metadata.get(nid)
+            for home in dep.shard_hosts(nid):
+                by_shard.setdefault(home, {})[nid] = node
         if by_shard:
-            yield from self._parallel(
-                [
-                    rpc.call(self.host, shard, "blob-meta", "put_nodes", nodes)
-                    for shard, nodes in by_shard.items()
-                ]
-            )
+            puts = list(by_shard.items())
+            if dep.retry is None:
+                yield from self._parallel(
+                    [
+                        rpc.call(self.host, shard, "blob-meta", "put_nodes", nodes)
+                        for shard, nodes in puts
+                    ]
+                )
+            else:
+                def guarded_put(shard: Host, nodes: Dict[NodeId, TreeNode]):
+                    try:
+                        yield from self._call_with_timeout(
+                            shard, "blob-meta", "put_nodes", nodes
+                        )
+                    except (ProviderUnavailableError, ChunkNotFoundError):
+                        return False
+                    return True
+
+                oks = yield from self._parallel(
+                    [guarded_put(shard, nodes) for shard, nodes in puts]
+                )
+                ok_shards = {shard.name for ok, (shard, _) in zip(oks, puts) if ok}
+                for nid in new_node_ids:
+                    if not any(h.name in ok_shards for h in dep.shard_hosts(nid)):
+                        raise ProviderUnavailableError(
+                            f"metadata node {nid}: no home shard accepted the write"
+                        )
 
         # 4. publish: the version manager orders the snapshot
         rec: SnapshotRecord = yield from rpc.call(

@@ -35,19 +35,41 @@ class PlacementPolicy:
         providers: Sequence[str],
         strategy: str = "round-robin",
         rng: Optional[np.random.Generator] = None,
+        replication_factor: int = 1,
     ):
         if not providers:
             raise StorageError("no data providers")
         if strategy not in ("round-robin", "random", "least-loaded"):
             raise StorageError(f"unknown placement strategy {strategy!r}")
+        if replication_factor < 1 or replication_factor > len(providers):
+            raise StorageError(
+                f"replication factor {replication_factor} impossible with "
+                f"{len(providers)} providers"
+            )
         self.providers = list(providers)
         self.strategy = strategy
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        #: default replica count when allocate() is called without one
+        self.replication_factor = replication_factor
         self._cursor = 0
         self.load_bytes = {name: 0 for name in self.providers}
 
-    def allocate(self, n_chunks: int, chunk_size: int, replication: int = 1) -> List[Tuple[str, ...]]:
-        """Pick ``replication`` distinct providers for each of ``n_chunks`` chunks."""
+    def allocate(
+        self,
+        n_chunks: int,
+        chunk_size: int,
+        replication: Optional[int] = None,
+        exclude: Sequence[str] = (),
+    ) -> List[Tuple[str, ...]]:
+        """Pick ``replication`` distinct providers for each of ``n_chunks`` chunks.
+
+        ``exclude`` removes providers from consideration (crashed hosts the
+        provider manager knows are down); empty in every failure-free run.
+        """
+        if replication is None:
+            replication = self.replication_factor
+        if exclude:
+            return self._allocate_excluding(n_chunks, chunk_size, replication, exclude)
         if replication < 1 or replication > len(self.providers):
             raise StorageError(
                 f"replication {replication} impossible with {len(self.providers)} providers"
@@ -87,6 +109,38 @@ class PlacementPolicy:
             out.append(tuple(picks))
         return out
 
+    def _allocate_excluding(
+        self,
+        n_chunks: int,
+        chunk_size: int,
+        replication: int,
+        exclude: Sequence[str],
+    ) -> List[Tuple[str, ...]]:
+        """Slow path used only when some providers are known to be down."""
+        excluded = set(exclude)
+        eligible = [p for p in self.providers if p not in excluded]
+        if replication < 1 or replication > len(eligible):
+            raise StorageError(
+                f"replication {replication} impossible with {len(eligible)} "
+                f"live providers ({len(excluded)} excluded)"
+            )
+        out: List[Tuple[str, ...]] = []
+        for _ in range(n_chunks):
+            if self.strategy == "round-robin":
+                start = self._cursor % len(eligible)
+                picks = [eligible[(start + r) % len(eligible)] for r in range(replication)]
+                self._cursor = (self._cursor + 1) % len(self.providers)
+            elif self.strategy == "random":
+                idx = self.rng.choice(len(eligible), size=replication, replace=False)
+                picks = [eligible[int(i)] for i in idx]
+            else:  # least-loaded
+                ranked = sorted(eligible, key=lambda p: (self.load_bytes[p], p))
+                picks = ranked[:replication]
+            for p in picks:
+                self.load_bytes[p] += chunk_size
+            out.append(tuple(picks))
+        return out
+
     def imbalance(self) -> float:
         """max/mean allocated bytes (1.0 = perfectly balanced)."""
         loads = list(self.load_bytes.values())
@@ -104,4 +158,19 @@ class ProviderManagerService:
 
     def rpc_allocate(self, caller: Host, n_chunks: int, chunk_size: int, replication: int):
         yield self.host.env.timeout(self.model.publish_overhead / 4)
-        return self.policy.allocate(n_chunks, chunk_size, replication)
+        return self.policy.allocate(
+            n_chunks, chunk_size, replication, exclude=self._down_providers()
+        )
+
+    def _down_providers(self) -> Tuple[str, ...]:
+        """Providers the manager currently believes dead (crash-injection only)."""
+        from ..simkit import rpc
+
+        if not rpc._down_hosts:  # fast path: failure-free runs never filter
+            return ()
+        hosts = self.host.fabric.hosts
+        return tuple(
+            name
+            for name in self.policy.providers
+            if name in hosts and rpc.is_host_down(hosts[name])
+        )

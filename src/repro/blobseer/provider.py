@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..calibration import ServiceModel
-from ..common.errors import ChunkNotFoundError
+from ..common.errors import ChunkNotFoundError, ProviderUnavailableError
 from ..common.payload import Payload
 from ..common.units import MiB
 from ..simkit.core import Timeout
@@ -63,6 +63,8 @@ class DataProviderService:
         self._buffer = Container(host.env, capacity=float(write_buffer_bytes))
         self._buffer.level = float(write_buffer_bytes)  # full budget available
         self._pending_flush = 0
+        #: chunk keys acked but not yet committed to disk (lost on a crash)
+        self._unflushed: set[int] = set()
 
     # ------------------------------------------------------------------ #
     def rpc_get_chunks(self, caller: Host, keys: Sequence):
@@ -95,7 +97,11 @@ class DataProviderService:
         total = sum(p.size for _, p in items)
         for key, payload in items:
             yield Timeout(env, self.model.chunk_request_overhead)
-            self.store.put(key, payload)
+            if not self.store.has(key):
+                # Puts are idempotent: a client retrying after a partial
+                # replicated write may resend chunks this provider already
+                # holds; re-storing an immutable chunk is a no-op.
+                self.store.put(key, payload)
             if self.cache_chunks:
                 self.ram.add(key)
         self.host.fabric.metrics.counters["chunk-put"] += len(items)
@@ -104,10 +110,38 @@ class DataProviderService:
             # commit to disk in the background.
             yield self._buffer.get(float(total))
             self._pending_flush += total
+            self._unflushed.update(key for key, _ in items)
             self.host.spawn(self._flush(items), name="provider-flush")
         else:
             for _key, payload in items:
                 yield from self.host.disk.write(payload.size, sequential=False)
+        return None
+
+    def rpc_put_chunks_chain(
+        self, caller: Host, items: Sequence[Tuple[int, Payload]], chain: Sequence[str]
+    ):
+        """Pipelined replication: store locally, then forward down ``chain``.
+
+        The client streams each replica group to the head provider only; the
+        head forwards to the next replica, and so on — k-1 provider-to-provider
+        transfers replace k-1 client uplink transfers (classic chain
+        replication, cheap when the client NIC is the bottleneck).
+        """
+        yield from self.rpc_put_chunks(caller, items)
+        if chain:
+            from ..simkit import rpc
+
+            next_host = self.host.fabric.hosts[chain[0]]
+            total = sum(p.size for _, p in items)
+            yield from rpc.call(
+                self.host,
+                next_host,
+                "blob-data",
+                "put_chunks_chain",
+                items,
+                tuple(chain[1:]),
+                request_bytes=total + rpc.REQUEST_BYTES,
+            )
         return None
 
     def _flush(self, items: Sequence[Tuple[int, Payload]]):
@@ -116,9 +150,32 @@ class DataProviderService:
         total = 0
         for _key, payload in items:
             yield from self.host.disk.write(payload.size, sequential=False)
+            self._unflushed.discard(_key)
             total += payload.size
         self._pending_flush -= total
         yield self._buffer.put(float(total))
+
+    # ------------------------------------------------------------------ #
+    def on_host_crash(self):
+        """Volatile state dies with the node; disk-committed chunks survive.
+
+        Called by :meth:`~repro.simkit.host.Host.fail`. Acked-but-unflushed
+        chunks are lost (the async-ack window is exactly the durability gap
+        the replication layer exists to cover), the RAM cache empties, and
+        any client blocked on the write buffer gets an immediate failure
+        instead of hanging on a dead flusher.
+        """
+        self.ram.clear()
+        for key in self._unflushed:
+            self.store.discard(key)
+        self._unflushed.clear()
+        self._buffer.fail_waiters(
+            ProviderUnavailableError(f"{self.host.name} crashed")
+        )
+        # Fresh, full buffer for the post-recovery life of the service.
+        self._buffer = Container(self.host.env, capacity=self._buffer.capacity)
+        self._buffer.level = self._buffer.capacity
+        self._pending_flush = 0
 
     # ------------------------------------------------------------------ #
     def drain(self):
@@ -160,6 +217,15 @@ class MetadataProviderService:
         self.nodes.update(nodes)
         self.host.fabric.metrics.counters["meta-put"] += len(nodes)
         return None
+
+    def on_host_crash(self):
+        """Metadata shards are DRAM-resident: a crash loses the shard.
+
+        Surviving replicas on the other metadata homes (``meta_replication``
+        in :class:`~repro.blobseer.service.BlobSeerDeployment`) are the only
+        way reads keep working afterwards.
+        """
+        self.nodes.clear()
 
 
 class VersionManagerService:

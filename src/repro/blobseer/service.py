@@ -16,7 +16,7 @@ upload itself is not part of any measured figure).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..calibration import ServiceModel
 from ..common.errors import StorageError
@@ -29,6 +29,9 @@ from .pmanager import PlacementPolicy, ProviderManagerService
 from .provider import DataProviderService, MetadataProviderService, VersionManagerService
 from .store import KeyMinter
 from .vmanager import BlobRegistry, SnapshotRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.policy import RetryPolicy
 
 
 class BlobSeerDeployment:
@@ -47,9 +50,39 @@ class BlobSeerDeployment:
         write_buffer_bytes: int = 64 * 2**20,
         cache_chunks: bool = False,
         dedup: bool = False,
+        replication_factor: int = 1,
+        replica_write_mode: str = "parallel",
+        meta_replication: Optional[int] = None,
+        retry: Optional["RetryPolicy"] = None,
     ):
         if not data_hosts or not meta_hosts:
             raise StorageError("need at least one data and one metadata host")
+        if replication_factor < 1 or replication_factor > len(data_hosts):
+            raise StorageError(
+                f"replication factor {replication_factor} impossible with "
+                f"{len(data_hosts)} data hosts"
+            )
+        if replica_write_mode not in ("parallel", "pipeline"):
+            raise StorageError(
+                f"unknown replica write mode {replica_write_mode!r} "
+                "(expected 'parallel' or 'pipeline')"
+            )
+        if meta_replication is None:
+            meta_replication = min(replication_factor, len(meta_hosts))
+        if meta_replication < 1 or meta_replication > len(meta_hosts):
+            raise StorageError(
+                f"metadata replication {meta_replication} impossible with "
+                f"{len(meta_hosts)} metadata hosts"
+            )
+        #: replicas per chunk written through this deployment's clients
+        self.replication_factor = replication_factor
+        #: how replicated chunk writes travel: client fan-out or chain
+        self.replica_write_mode = replica_write_mode
+        #: homes per metadata tree node (consecutive shards mod n_meta)
+        self.meta_replication = meta_replication
+        #: client-side RetryPolicy; ``None`` keeps the original non-resilient
+        #: code paths byte-identical (no timeouts, no failover)
+        self.retry = retry
         self.fabric = fabric
         self.model = model if model is not None else ServiceModel()
         self.metadata = MetadataStore()
@@ -87,6 +120,7 @@ class BlobSeerDeployment:
             [h.name for h in data_hosts],
             strategy=placement,
             rng=fabric.rng.get("blobseer-placement"),
+            replication_factor=replication_factor,
         )
         self.pmanager = ProviderManagerService(self.pmanager_host, self.policy, self.model)
         rpc.bind(self.pmanager_host, "blob-pmgr", self.pmanager)
@@ -96,6 +130,16 @@ class BlobSeerDeployment:
         """Home metadata shard of a tree node (id-modulo placement)."""
         return self.meta_hosts[node_id % len(self.meta_hosts)]
 
+    def shard_hosts(self, node_id: int) -> List[Host]:
+        """All homes of a tree node: ``meta_replication`` consecutive shards.
+
+        The first entry is the primary (identical to :meth:`shard_host`);
+        clients read from it and fail over to the followers in order.
+        """
+        n = len(self.meta_hosts)
+        primary = node_id % n
+        return [self.meta_hosts[(primary + r) % n] for r in range(self.meta_replication)]
+
     def client(self, host: Host) -> BlobClient:
         return BlobClient(host, self)
 
@@ -104,7 +148,7 @@ class BlobSeerDeployment:
 
     # ------------------------------------------------------------------ #
     def seed_blob(
-        self, payload: Payload, chunk_size: int, replication: int = 1
+        self, payload: Payload, chunk_size: int, replication: Optional[int] = None
     ) -> SnapshotRecord:
         """Inject a fully-uploaded blob at time zero (experiment setup).
 
@@ -114,6 +158,8 @@ class BlobSeerDeployment:
         leave behind, with no simulated time elapsed.
         """
         size = payload.size
+        if replication is None:
+            replication = self.replication_factor
         blob_id = self.registry.create_blob(size, chunk_size)
         n_chunks = -(-size // chunk_size)
         placements = self.policy.allocate(n_chunks, chunk_size, replication)
@@ -131,8 +177,9 @@ class BlobSeerDeployment:
         before = len(self.metadata)
         root = build_tree(self.metadata, refs, n_chunks)
         for nid in range(before, len(self.metadata)):
-            shard = self.shard_host(nid)
-            self.meta_services[shard.name].nodes[nid] = self.metadata.get(nid)
+            node = self.metadata.get(nid)
+            for shard in self.shard_hosts(nid):
+                self.meta_services[shard.name].nodes[nid] = node
         return self.registry.publish(blob_id, root)
 
     # ------------------------------------------------------------------ #

@@ -36,8 +36,14 @@ class ChunkStore:
         return key in self._chunks
 
     def discard(self, key: int) -> None:
-        """Remove a chunk (used only by failure-injection tests)."""
+        """Remove a chunk (used only by failure injection)."""
         self._chunks.pop(key, None)
+
+    def wipe(self) -> int:
+        """Drop every chunk (total disk loss); returns the number dropped."""
+        n = len(self._chunks)
+        self._chunks.clear()
+        return n
 
     def keys(self) -> KeysView[int]:
         return self._chunks.keys()

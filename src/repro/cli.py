@@ -5,6 +5,7 @@ Subcommands::
     python -m repro deploy    --instances 16 --approach mirror
     python -m repro snapshot  --instances 16 --diff-mib 15
     python -m repro sweep     --figure fig4 --profile quick --jobs 4
+    python -m repro faults    --instances 8 --replication 2 --crashes 2
     python -m repro bonnie
     python -m repro info
 
@@ -12,7 +13,9 @@ Subcommands::
 pattern at the requested scale, and print the paper's metrics; ``sweep``
 runs a whole figure's measurement sweep through the parallel
 :mod:`repro.runner` engine (multi-core fan-out plus the persistent result
-cache); ``bonnie`` runs the §5.4 micro-benchmark; ``info`` dumps the active
+cache); ``faults`` replays a multideployment while a deterministic fault
+plan crashes storage nodes (chunk replication + client failover keep it
+alive); ``bonnie`` runs the §5.4 micro-benchmark; ``info`` dumps the active
 calibration.
 """
 
@@ -96,6 +99,66 @@ def cmd_snapshot(args) -> int:
     print(f"completion:        {fmt_time(snap.completion_time)}")
     print(f"bytes persisted:   {fmt_size(snap.total_bytes_moved)}")
     return 0
+
+
+def cmd_faults(args) -> int:
+    from .cloud import build_cloud
+    from .faults import FaultPlan, RetryPolicy, resilient_deploy
+    from .vmsim import make_image
+
+    calib = _calibration(args)
+    pool = _pool(args)
+    retry = RetryPolicy(
+        attempts=args.attempts,
+        base_delay=args.base_delay,
+        rpc_timeout=args.rpc_timeout,
+    )
+    cloud = build_cloud(
+        pool, seed=args.seed, calib=calib,
+        replication_factor=args.replication,
+        replica_write_mode=args.write_mode,
+        retry=retry,
+    )
+    image = make_image(calib.image.size, calib.image.boot_touched_bytes, n_regions=48)
+    spares = [h.name for h in cloud.compute[args.instances:]]
+    if args.crashes > len(spares):
+        print(f"error: {args.crashes} crashes exceed the {len(spares)} spare "
+              f"nodes of a {pool}-node pool with {args.instances} instances",
+              file=sys.stderr)
+        return 2
+    if args.crashes == 0:
+        plan = FaultPlan()
+    elif args.plan == "staggered":
+        plan = FaultPlan.staggered_crashes(
+            spares, args.crashes, args.window, mttr=args.mttr
+        )
+    else:
+        plan = FaultPlan.random_crashes(
+            spares, args.crashes, args.window, mttr=args.mttr,
+            seed=args.faults_seed if args.faults_seed is not None else args.seed,
+        )
+    res = resilient_deploy(cloud, image, args.instances, args.approach, plan=plan)
+    print(f"approach:        {res.approach}  (replication={args.replication}, "
+          f"{args.write_mode} writes)")
+    print(f"fault plan:      {plan.describe()}")
+    if cloud.injector is not None:
+        print(f"injected:        {len(cloud.injector.applied)} incidents")
+    print(f"instances:       {res.n_instances}")
+    print(f"booted:          {res.boots_completed}  "
+          f"(survival {res.survival_rate:.0%})")
+    if res.failed:
+        print(f"failed:          " + ", ".join(
+            f"{name} ({why})" for name, why in sorted(res.failed.items())))
+    print(f"init phase:      {fmt_time(res.init_time)}")
+    print(f"avg boot:        {fmt_time(res.avg_boot_time)}")
+    print(f"completion:      {fmt_time(res.completion_time)}")
+    print(f"network traffic: {fmt_size(res.total_traffic)}")
+    retries = sum(
+        cloud.metrics.counters.get(k, 0)
+        for k in ("fetch-retry", "meta-retry", "put-retry")
+    )
+    print(f"client retries:  {retries}")
+    return 0 if res.boots_failed == 0 else 1
 
 
 def cmd_bonnie(args) -> int:
@@ -282,6 +345,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: benchmarks/results/cache)",
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_faults = sub.add_parser(
+        "faults", help="multideployment under an injected fault plan"
+    )
+    _add_cluster_args(p_faults)
+    p_faults.add_argument(
+        "--approach", choices=["mirror", "qcow2-pvfs", "prepropagation"],
+        default="mirror",
+    )
+    p_faults.add_argument("--replication", type=int, default=2,
+                          help="replicas per chunk (and metadata node)")
+    p_faults.add_argument("--write-mode", choices=["parallel", "pipeline"],
+                          default="parallel", help="replica write strategy")
+    p_faults.add_argument("--crashes", type=int, default=2,
+                          help="spare nodes to crash during the boot phase")
+    p_faults.add_argument("--mttr", type=float, default=0.0,
+                          help="seconds until a crashed node revives (0 = permanent)")
+    p_faults.add_argument("--window", type=float, default=5.0,
+                          help="crashes spread over the first WINDOW seconds")
+    p_faults.add_argument("--plan", choices=["staggered", "random"],
+                          default="staggered", help="fault plan generator")
+    p_faults.add_argument("--faults-seed", type=int, default=None,
+                          help="seed for --plan random (default: --seed)")
+    p_faults.add_argument("--attempts", type=int, default=4,
+                          help="client retry attempts per chunk/metadata fetch")
+    p_faults.add_argument("--base-delay", type=float, default=0.25,
+                          help="initial retry backoff in seconds")
+    p_faults.add_argument("--rpc-timeout", type=float, default=2.0,
+                          help="per-RPC deadline in seconds")
+    p_faults.set_defaults(func=cmd_faults)
 
     p_bonnie = sub.add_parser("bonnie", help="run the §5.4 micro-benchmark")
     p_bonnie.add_argument("--image-mib", type=int, default=1024)

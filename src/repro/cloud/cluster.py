@@ -10,13 +10,18 @@ across the compute nodes' local disks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..baselines.nfs import NfsServer
 from ..baselines.pvfs import PvfsDeployment
 from ..blobseer.service import BlobSeerDeployment
 from ..calibration import Calibration, DEFAULT
 from ..simkit.host import Fabric, Host
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
+    from ..faults.plan import FaultPlan
+    from ..faults.policy import RetryPolicy
 
 
 @dataclass
@@ -31,6 +36,7 @@ class Cloud:
     blobseer: Optional[BlobSeerDeployment]
     pvfs: Optional[PvfsDeployment]
     calib: Calibration = field(default_factory=lambda: DEFAULT)
+    injector: Optional["FaultInjector"] = None
 
     @property
     def env(self):
@@ -43,6 +49,13 @@ class Cloud:
     def run(self, until=None):
         return self.fabric.run(until)
 
+    def inject_faults(self, plan: "FaultPlan") -> "FaultInjector":
+        """Arm ``plan`` against this cloud (event times relative to now)."""
+        from ..faults.injector import FaultInjector
+
+        self.injector = FaultInjector(self, plan).arm()
+        return self.injector
+
 
 def build_cloud(
     compute_nodes: int,
@@ -53,6 +66,10 @@ def build_cloud(
     fairness: str = "equal-share",
     placement: str = "round-robin",
     dedup: bool = False,
+    replication_factor: int = 1,
+    replica_write_mode: str = "parallel",
+    meta_replication: Optional[int] = None,
+    retry: Optional["RetryPolicy"] = None,
 ) -> Cloud:
     """Build the simulated testbed.
 
@@ -94,6 +111,10 @@ def build_cloud(
             placement=placement,
             write_buffer_bytes=calib.service.provider_write_buffer,
             dedup=dedup,
+            replication_factor=replication_factor,
+            replica_write_mode=replica_write_mode,
+            meta_replication=meta_replication,
+            retry=retry,
         )
     pvfs = None
     if with_pvfs:

@@ -87,15 +87,22 @@ class RWTranslator:
 
         from ..simkit import rpc
 
+        retry = self.client.deployment.retry
+
         def fetch_group(provider_name, items):
             provider = self.client.deployment.fabric.hosts[provider_name]
             requests = []
             for idx, (g_lo, g_hi) in items:
                 c_lo, _ = self.modmgr.chunk_bounds(idx)
                 requests.append((refs[idx].key, g_lo - c_lo, g_hi - c_lo))
-            combined = yield from rpc.call(
-                self.client.host, provider, "blob-data", "get_chunks", requests
-            )
+            if retry is not None:
+                combined = yield from self.client._call_with_timeout(
+                    provider, "blob-data", "get_chunks", requests
+                )
+            else:
+                combined = yield from rpc.call(
+                    self.client.host, provider, "blob-data", "get_chunks", requests
+                )
             cursor = 0
             out = []
             for idx, (g_lo, g_hi) in items:
@@ -103,9 +110,50 @@ class RWTranslator:
                 cursor += g_hi - g_lo
             return out
 
-        groups = yield from self.client._parallel(
-            [fetch_group(p, items) for p, items in sorted(by_provider.items())]
-        )
+        if retry is None:
+            groups = yield from self.client._parallel(
+                [fetch_group(p, items) for p, items in sorted(by_provider.items())]
+            )
+        else:
+            # Replica failover for exact-range fetches: attempt ``a`` asks
+            # each still-missing range's replica of rank ``a mod k``.
+            from ..common.errors import ChunkNotFoundError, ProviderUnavailableError
+
+            env = self.client.host.env
+            pending = [(idx, gap) for p, items in sorted(by_provider.items()) for idx, gap in items]
+            groups = []
+            for attempt in range(retry.attempts):
+                by_replica: Dict[str, List[Tuple[int, Tuple[int, int]]]] = {}
+                for idx, gap in pending:
+                    provs = refs[idx].providers
+                    by_replica.setdefault(provs[attempt % len(provs)], []).append((idx, gap))
+
+                def guarded(provider_name, items):
+                    try:
+                        out = yield from fetch_group(provider_name, items)
+                    except (ProviderUnavailableError, ChunkNotFoundError):
+                        return None
+                    return out
+
+                work = sorted(by_replica.items())
+                fetched = yield from self.client._parallel(
+                    [guarded(p, items) for p, items in work]
+                )
+                pending = []
+                for group, (_p, items) in zip(fetched, work):
+                    if group is None:
+                        pending.extend(items)
+                    else:
+                        groups.append(group)
+                if not pending:
+                    break
+                self._metrics.count("fetch-retry")
+                yield env.timeout(retry.delay_for(attempt))
+            else:
+                raise ProviderUnavailableError(
+                    f"ranges of chunks {sorted({i for i, _ in pending})[:5]} "
+                    f"unreachable after {retry.attempts} attempts"
+                )
         for group in groups:
             for g_lo, piece, idx in group:
                 yield from self.local.apply_remote(g_lo, piece)

@@ -1,0 +1,68 @@
+"""Retry/backoff policy for the resilient storage-client paths.
+
+A :class:`RetryPolicy` is a pure value attached to a
+:class:`~repro.blobseer.service.BlobSeerDeployment`. When set, the BlobSeer
+client wraps its data/metadata RPCs in per-call timeouts, bounded
+exponential-backoff retries and replica failover; when ``None`` (the
+default), every client path is byte-identical to the retry-free code —
+the fault subsystem is strictly off-path when disabled.
+
+This module has no imports from the rest of :mod:`repro` so it can be used
+from both the simkit layer and the storage layer without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client survives provider failures instead of hanging."""
+
+    #: total tries per logical operation (first attempt included)
+    attempts: int = 4
+    #: delay before the second attempt (seconds, simulated)
+    base_delay: float = 0.25
+    #: multiplier applied to the delay after each failed attempt
+    backoff: float = 2.0
+    #: ceiling on the inter-attempt delay (seconds, simulated)
+    max_delay: float = 4.0
+    #: per-RPC watchdog: an unanswered call is abandoned after this long
+    rpc_timeout: float = 30.0
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"{self.base_delay}/{self.max_delay}"
+            )
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.rpc_timeout <= 0:
+            raise ValueError(f"rpc_timeout must be positive, got {self.rpc_timeout}")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff delay after failed attempt number ``attempt`` (0-based)."""
+        return min(self.base_delay * self.backoff**attempt, self.max_delay)
+
+    def to_json(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "base_delay": self.base_delay,
+            "backoff": self.backoff,
+            "max_delay": self.max_delay,
+            "rpc_timeout": self.rpc_timeout,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RetryPolicy":
+        return cls(
+            attempts=int(data.get("attempts", 4)),
+            base_delay=float(data.get("base_delay", 0.25)),
+            backoff=float(data.get("backoff", 2.0)),
+            max_delay=float(data.get("max_delay", 4.0)),
+            rpc_timeout=float(data.get("rpc_timeout", 30.0)),
+        )

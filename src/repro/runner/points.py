@@ -147,6 +147,85 @@ def _run_bonnie(spec: PointSpec, profile: BenchProfile, calib):
     return cloud, metrics, {}
 
 
+@point_kind("resilience")
+def _run_resilience(spec: PointSpec, profile: BenchProfile, calib):
+    """One resilience-sweep point: multideployment under injected crashes.
+
+    Victims are *spare* pool nodes (nodes not running a VM), so the sweep
+    measures how the storage layer — not the hypervisor hosts — degrades:
+    a crashed spare takes its data provider (and metadata shard) down with
+    whatever chunks it held.
+
+    Params: ``replication`` (replica count), ``crashes`` (how many spares
+    die), ``mttr`` (0 = permanent loss), ``window`` (crash spread, seconds
+    into the boot phase), ``plan`` (``staggered`` | ``random``),
+    ``faults_seed``, ``attempts`` / ``rpc_timeout`` / ``base_delay``
+    (client retry policy), ``replica_write_mode`` (``parallel`` |
+    ``pipeline``).
+    """
+    from ..faults import FaultPlan, RetryPolicy, resilient_deploy
+
+    replication = int(spec.param("replication", 1))
+    crashes = int(spec.param("crashes", 0))
+    mttr = float(spec.param("mttr", 0.0))
+    window = float(spec.param("window", 5.0))
+    mode = spec.param("plan", "staggered")
+
+    retry = RetryPolicy(
+        attempts=int(spec.param("attempts", 4)),
+        base_delay=float(spec.param("base_delay", 0.25)),
+        rpc_timeout=float(spec.param("rpc_timeout", 2.0)),
+    )
+    cloud, image = build_point_cloud(
+        profile, spec.seed, calib=calib,
+        replication_factor=replication,
+        replica_write_mode=spec.param("replica_write_mode", "parallel"),
+        retry=retry,
+    )
+    spares = [h.name for h in cloud.compute[spec.n:]]
+    if crashes > len(spares):
+        raise SimulationError(
+            f"resilience: {crashes} crashes exceed the {len(spares)} spare "
+            f"nodes of a {profile.pool_nodes}-node pool with n={spec.n}"
+        )
+    if crashes == 0:
+        plan = FaultPlan()
+    elif mode == "staggered":
+        plan = FaultPlan.staggered_crashes(spares, crashes, window, mttr=mttr)
+    elif mode == "random":
+        plan = FaultPlan.random_crashes(
+            spares, crashes, window, mttr=mttr,
+            seed=int(spec.param("faults_seed", spec.seed)),
+        )
+    else:
+        raise SimulationError(
+            f"resilience plan must be 'staggered' or 'random', got {mode!r}"
+        )
+
+    from ..simkit import rpc as _rpc
+
+    try:
+        res = resilient_deploy(
+            cloud, image, spec.n, spec.approach or "mirror", plan=plan
+        )
+    finally:
+        # The down-host registry is process-global and keyed by id(fabric);
+        # purge it so a later point in this worker (which may reuse the
+        # fabric's memory address) cannot inherit stale crash markers.
+        _rpc.reset_failures()
+    metrics = {
+        "init_time": res.init_time,
+        "avg_boot_time": res.avg_boot_time,
+        "completion_time": res.completion_time,
+        "total_traffic": res.total_traffic,
+        "boots_completed": float(res.boots_completed),
+        "boots_failed": float(res.boots_failed),
+        "survival_rate": res.survival_rate,
+    }
+    series = {"boot_times": tuple(res.boot_times)}
+    return cloud, metrics, series
+
+
 def _mc_config(profile: BenchProfile, calib, image):
     from ..vmsim import MonteCarloConfig
 

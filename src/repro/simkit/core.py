@@ -90,6 +90,14 @@ class Event:
         heappush(env._queue, (env.now, env._seq, self))
         return self
 
+    def on_waiter_cancelled(self) -> None:
+        """Hook: a process waiting on this event was interrupted away.
+
+        Subclasses whose pending state lives in a queue (notably
+        :class:`~repro.simkit.resources.Request`) override this to withdraw
+        themselves, so no capacity is ever granted to a dead waiter.
+        """
+
 
 class Timeout(Event):
     """An event that fires ``delay`` seconds after creation."""
@@ -166,6 +174,8 @@ class Process(Event):
                 target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            else:
+                target.on_waiter_cancelled()
         self._waiting_on = None
         kick = Event(self.env)
         kick._value = InterruptedError_(cause)

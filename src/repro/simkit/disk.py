@@ -49,6 +49,9 @@ class Disk:
         self.write_bandwidth = write_bandwidth
         self.seek_time = seek_time
         self.metrics = metrics
+        self._base_read_bandwidth = read_bandwidth
+        self._base_write_bandwidth = write_bandwidth
+        self._stall_factor = 1.0
         self._queue = Resource(env, capacity=1)
         # counter keys hoisted out of the per-I/O hot path
         self._keys = {
@@ -86,6 +89,32 @@ class Disk:
     @property
     def queue_length(self) -> int:
         return self._queue.queue_length
+
+    # ------------------------------------------------------------------ #
+    # fault injection
+    # ------------------------------------------------------------------ #
+    def stall(self, factor: float) -> None:
+        """Degrade both bandwidths by ``factor`` (fault injection: disk stall).
+
+        Affects operations *priced after* the call — an I/O already in the
+        device queue completes at its original rate, like a request the
+        controller has already accepted.
+        """
+        if factor < 1.0:
+            raise ValueError(f"stall factor must be >= 1, got {factor}")
+        self._stall_factor = factor
+        self.read_bandwidth = self._base_read_bandwidth / factor
+        self.write_bandwidth = self._base_write_bandwidth / factor
+
+    def unstall(self) -> None:
+        """Restore the calibrated bandwidths after a :meth:`stall`."""
+        self._stall_factor = 1.0
+        self.read_bandwidth = self._base_read_bandwidth
+        self.write_bandwidth = self._base_write_bandwidth
+
+    @property
+    def stalled(self) -> bool:
+        return self._stall_factor != 1.0
 
 
 class WritePolicy:

@@ -90,6 +90,11 @@ class Host:
         self.services: Dict[str, object] = {}
         #: memoized (service, method) -> bound handler, filled by rpc.call
         self._rpc_cache: Dict[tuple, object] = {}
+        #: crashed flag (fault injection); see :meth:`fail` / :meth:`recover`
+        self.down = False
+        #: processes started via :meth:`spawn` and still running — the set a
+        #: crash must kill (insertion-ordered for deterministic interrupts)
+        self._live_procs: Dict[object, None] = {}
 
     # ------------------------------------------------------------------ #
     # local file system (content plane; callers add disk timing explicitly)
@@ -126,7 +131,53 @@ class Host:
             self.cpu.release()
 
     def spawn(self, gen, name: str = ""):
-        return self.env.process(gen, name=f"{self.name}:{name}")
+        proc = self.env.process(gen, name=f"{self.name}:{name}")
+        # Track until completion so a crash can interrupt it. The bookkeeping
+        # adds no scheduled events, so timelines without faults are unchanged.
+        live = self._live_procs
+        live[proc] = None
+        proc.callbacks.append(lambda _ev: live.pop(proc, None))
+        return proc
+
+    # ------------------------------------------------------------------ #
+    # fault injection
+    # ------------------------------------------------------------------ #
+    def fail(self, cause: object = "host-crash") -> None:
+        """Crash the host: RPCs to it fail, its flows abort, its processes die.
+
+        Services bound on the host get an ``on_host_crash()`` hook (if they
+        define one) to model volatile-state loss — e.g. a data provider's RAM
+        write buffer and unflushed chunks.
+        """
+        if self.down:
+            return
+        self.down = True
+        from . import rpc  # local import: rpc imports Host
+
+        rpc.host_down(self)
+        self.fabric.network.fail_nic(self.nic, cause=f"{self.name}: {cause}")
+        for proc in list(self._live_procs):
+            proc.interrupt(cause)
+        self._live_procs.clear()
+        for svc in self.services.values():
+            hook = getattr(svc, "on_host_crash", None)
+            if hook is not None:
+                hook()
+        self.fabric.metrics.count("host-crash")
+
+    def recover(self) -> None:
+        """Revive a crashed host (services get ``on_host_restart()``)."""
+        if not self.down:
+            return
+        self.down = False
+        from . import rpc
+
+        rpc.host_up(self)
+        for svc in self.services.values():
+            hook = getattr(svc, "on_host_restart", None)
+            if hook is not None:
+                hook()
+        self.fabric.metrics.count("host-restart")
 
     def __repr__(self) -> str:
         return f"Host({self.name})"

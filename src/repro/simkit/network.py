@@ -41,6 +41,7 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
+from ..common.errors import ProviderUnavailableError
 from ..common.units import MB, MILLISECONDS
 from .core import Environment, Event, Timeout
 from .trace import Metrics
@@ -226,6 +227,66 @@ class FlowNetwork:
         # Caller-supplied completion event: fire it directly at delivery time.
         env.schedule_at(done, env.now + delay)
         return done
+
+    # ------------------------------------------------------------------ #
+    # fault injection
+    # ------------------------------------------------------------------ #
+    def set_nic_capacity(
+        self, nic: Nic, up_capacity: float, down_capacity: float | None = None
+    ) -> None:
+        """Change a NIC's capacities mid-run (fault injection: NIC degradation).
+
+        In-flight flows crossing the NIC are rebalanced immediately; flows on
+        other links are untouched (equal-share) or globally refilled (maxmin).
+        """
+        if up_capacity <= 0:
+            raise ValueError(f"NIC capacity must be positive, got {up_capacity}")
+        nic.up_capacity = float(up_capacity)
+        nic.down_capacity = float(
+            down_capacity if down_capacity is not None else up_capacity
+        )
+        nic.up_share = nic.up_capacity / max(1, len(nic.up_flows))
+        nic.down_share = nic.down_capacity / max(1, len(nic.down_flows))
+        if self.fairness == "equal-share":
+            self._rebalance_pair(nic, nic)
+        else:
+            self._rebalance_global()
+
+    def fail_nic(self, nic: Nic, cause: str = "nic failure") -> None:
+        """Abort every flow crossing ``nic`` (host crash / link loss).
+
+        Each victim's ``done`` event fails with
+        :class:`~repro.common.errors.ProviderUnavailableError`, so waiting
+        transfer callers see the loss exactly like an RPC failure. Bytes
+        already on the wire are charged to the traffic accounting.
+        """
+        victims = list(nic.up_flows) + list(nic.down_flows)
+        if not victims:
+            return
+        now = self.env.now
+        touched: Dict[Nic, None] = {}  # insertion-ordered: determinism
+        for flow in victims:
+            self._flows.pop(flow, None)
+            src, dst = flow.src, flow.dst
+            src.up_flows.pop(flow, None)
+            dst.down_flows.pop(flow, None)
+            touched[src] = None
+            touched[dst] = None
+            if flow.rate > 0.0:
+                rem = flow.remaining - flow.rate * (now - flow.t_last)
+                flow.remaining = rem if rem > 0.0 else 0.0
+                flow.t_last = now
+            flow.wake_seq += 1  # invalidate completion-heap entries
+            self.metrics.traffic[flow.kind] += int(flow.size - flow.remaining)
+            flow.done.fail(ProviderUnavailableError(cause))
+        for t in touched:
+            t.up_share = t.up_capacity / max(1, len(t.up_flows))
+            t.down_share = t.down_capacity / max(1, len(t.down_flows))
+        if self.fairness == "equal-share":
+            for t in touched:
+                self._rebalance_pair(t, t)
+        else:
+            self._rebalance_global()
 
     # ------------------------------------------------------------------ #
     # rate maintenance

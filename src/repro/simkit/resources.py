@@ -19,7 +19,7 @@ from collections import deque
 from typing import Any, Deque
 
 from ..common.errors import SimulationError
-from .core import Environment, Event
+from .core import Environment, Event, _PENDING
 
 
 class Request(Event):
@@ -30,6 +30,25 @@ class Request(Event):
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the resource's queue."""
+        if self._value is _PENDING:
+            try:
+                self.resource._waiters.remove(self)
+            except ValueError:
+                pass
+
+    def on_waiter_cancelled(self) -> None:
+        # An interrupted process detached from this request. If the slot was
+        # never granted, leave the queue; if it was granted but the grant
+        # will never be consumed, pass the slot straight on — otherwise the
+        # resource would leak capacity on every interrupted waiter.
+        if self._value is _PENDING:
+            if not self.callbacks:
+                self.cancel()
+        else:
+            self.resource.release()
 
 
 class Resource:
@@ -110,6 +129,34 @@ class Store:
         return len(self._items)
 
 
+class _ContainerOp(Event):
+    """A pending ``get``/``put`` on a :class:`Container` (cancel-aware)."""
+
+    __slots__ = ("container", "amount", "is_get")
+
+    def __init__(self, container: "Container", amount: float, is_get: bool):
+        super().__init__(container.env)
+        self.container = container
+        self.amount = amount
+        self.is_get = is_get
+
+    def on_waiter_cancelled(self) -> None:
+        # The waiting process was interrupted away. Pending op: withdraw from
+        # the queue. Granted-but-unconsumed get: the level was already
+        # deducted for a process that will never use it — put it back.
+        con = self.container
+        if self._value is _PENDING:
+            if not self.callbacks:
+                queue = con._getters if self.is_get else con._putters
+                try:
+                    queue.remove((self.amount, self))
+                except ValueError:
+                    pass
+        elif self.is_get and self._ok:
+            con.level += self.amount
+            con._drain()
+
+
 class Container:
     """A continuous reservoir with blocking ``get`` of arbitrary amounts."""
 
@@ -124,17 +171,30 @@ class Container:
 
     def put(self, amount: float) -> Event:
         """Deposit ``amount``; blocks while it would overflow capacity."""
-        ev = Event(self.env)
+        ev = _ContainerOp(self, amount, is_get=False)
         self._putters.append((amount, ev))
         self._drain()
         return ev
 
     def get(self, amount: float) -> Event:
         """Withdraw ``amount``; blocks until the level suffices."""
-        ev = Event(self.env)
+        ev = _ContainerOp(self, amount, is_get=True)
         self._getters.append((amount, ev))
         self._drain()
         return ev
+
+    def fail_waiters(self, exc: BaseException) -> None:
+        """Fail every blocked ``get``/``put`` (host crash: the reservoir died).
+
+        Waiters whose process was already interrupted hold events with no
+        callbacks left; failing those is a harmless no-op delivery.
+        """
+        for _amount, ev in self._getters:
+            ev.fail(exc)
+        self._getters.clear()
+        for _amount, ev in self._putters:
+            ev.fail(exc)
+        self._putters.clear()
 
     def _drain(self) -> None:
         progressed = True

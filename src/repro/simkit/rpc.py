@@ -51,6 +51,11 @@ def reset_failures() -> None:
     _down_hosts.clear()
 
 
+def is_host_down(host: Host) -> bool:
+    """True while ``host`` is in the failure registry (crash injected)."""
+    return bool(_down_hosts) and _key(host) in _down_hosts
+
+
 def _key(host: Host) -> str:
     return f"{id(host.fabric)}:{host.name}"
 

@@ -16,18 +16,28 @@ from typing import Dict, List, Tuple
 
 @dataclass
 class SampleStats:
-    """Streaming summary of a sample series (count/mean/min/max/stdev)."""
+    """Streaming summary of a sample series (count/mean/min/max/stdev).
+
+    Variance uses Welford's online algorithm: the naive
+    ``E[x^2] - E[x]^2`` form cancels catastrophically when the spread is
+    tiny relative to the magnitude (e.g. millisecond jitter on timelines
+    hours into a simulation) and can even go negative.
+    """
 
     count: int = 0
     total: float = 0.0
-    total_sq: float = 0.0
+    #: Welford state: running mean and sum of squared deviations from it
+    welford_mean: float = 0.0
+    welford_m2: float = 0.0
     min_value: float = math.inf
     max_value: float = -math.inf
 
     def add(self, value: float) -> None:
         self.count += 1
         self.total += value
-        self.total_sq += value * value
+        delta = value - self.welford_mean
+        self.welford_mean += delta / self.count
+        self.welford_m2 += delta * (value - self.welford_mean)
         self.min_value = min(self.min_value, value)
         self.max_value = max(self.max_value, value)
 
@@ -37,10 +47,10 @@ class SampleStats:
 
     @property
     def stdev(self) -> float:
+        """Population standard deviation."""
         if self.count < 2:
             return 0.0
-        var = self.total_sq / self.count - self.mean**2
-        return math.sqrt(max(0.0, var))
+        return math.sqrt(max(0.0, self.welford_m2 / self.count))
 
 
 @dataclass

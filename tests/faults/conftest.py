@@ -1,0 +1,27 @@
+"""Fixtures for the fault-injection tests: a tiny registered profile."""
+
+import pytest
+
+from repro.common.units import KiB, MiB
+from repro.runner import BenchProfile, register_profile
+
+#: same micro profile the runner tests use: one resilience point simulates
+#: in well under a second, which keeps the jobs=1 vs jobs=4 comparison cheap
+MICRO = BenchProfile(
+    name="micro-test",
+    pool_nodes=6,
+    instance_counts=(1, 2),
+    image_size=64 * MiB,
+    chunk_size=256 * KiB,
+    touched_bytes=8 * MiB,
+    n_regions=16,
+    diff_bytes=2 * MiB,
+    mc_workers=3,
+    mc_total_compute=10.0,
+    bonnie_working_set=8 * MiB,
+)
+
+
+@pytest.fixture
+def micro_profile():
+    return register_profile(MICRO)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import SimulationError
+from repro.common.errors import InterruptedError_, SimulationError
 from repro.simkit.core import Environment
 from repro.simkit.resources import Container, Resource, Store
 
@@ -194,3 +194,144 @@ class TestContainer:
     def test_init_over_capacity_rejected(self):
         with pytest.raises(SimulationError):
             Container(Environment(), capacity=1.0, init=2.0)
+
+
+class TestWaiterCancellation:
+    """Interrupting a process blocked on a resource must not leak state
+    (fault injection kills processes at arbitrary yield points)."""
+
+    def test_interrupted_container_getter_leaves_queue(self):
+        env = Environment()
+        c = Container(env, capacity=100.0, init=0.0)
+        outcome = []
+
+        def doomed():
+            try:
+                yield c.get(30.0)
+            except InterruptedError_:
+                outcome.append("interrupted")
+
+        def lucky():
+            yield c.get(10.0)
+            outcome.append(("lucky", env.now))
+
+        victim = env.process(doomed())
+        env.process(lucky())
+
+        def killer():
+            yield env.timeout(1.0)
+            victim.interrupt("crash")
+            yield c.put(10.0)
+
+        env.process(killer())
+        env.run()
+        # the dead getter's 30-unit claim must not shadow the live one
+        assert outcome == ["interrupted", ("lucky", 1.0)]
+        assert c.level == 0.0
+
+    def test_granted_unconsumed_get_refunds_level(self):
+        """Interrupt lands in the same timestep the get was granted: the
+        deducted amount must flow back (the victim never saw it)."""
+        env = Environment()
+        c = Container(env, capacity=100.0, init=0.0)
+        outcome = []
+
+        def doomed():
+            try:
+                yield c.get(10.0)
+                outcome.append("got")
+            except InterruptedError_:
+                outcome.append("interrupted")
+
+        victim = env.process(doomed())
+
+        def killer():
+            yield env.timeout(1.0)
+            yield c.put(10.0)  # grants the get; victim resumes *later*
+            victim.interrupt("crash")  # ...but dies first
+
+        env.process(killer())
+        env.run()
+        assert outcome == ["interrupted"]
+        assert c.level == 10.0  # refunded, not lost
+
+    def test_interrupted_putter_leaves_queue(self):
+        env = Environment()
+        c = Container(env, capacity=10.0, init=10.0)
+        outcome = []
+
+        def doomed():
+            try:
+                yield c.put(5.0)
+            except InterruptedError_:
+                outcome.append("interrupted")
+
+        victim = env.process(doomed())
+
+        def killer():
+            yield env.timeout(1.0)
+            victim.interrupt("crash")
+            yield c.get(4.0)
+
+        env.process(killer())
+        env.run()
+        assert outcome == ["interrupted"]
+        # the dead putter must not have topped the container back up
+        assert c.level == 6.0
+
+    def test_interrupted_resource_waiter_frees_no_slot(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def holder():
+            yield res.request()
+            yield env.timeout(2.0)
+            res.release()
+
+        def doomed():
+            try:
+                yield res.request()
+            except InterruptedError_:
+                order.append("interrupted")
+
+        def patient():
+            yield env.timeout(1.5)
+            yield res.request()
+            order.append(("patient", env.now))
+            res.release()
+
+        env.process(holder())
+        victim = env.process(doomed())
+        env.process(patient())
+
+        def killer():
+            yield env.timeout(1.0)
+            victim.interrupt("crash")
+
+        env.process(killer())
+        env.run()
+        # the cancelled waiter is skipped; the slot goes to the live one
+        assert order == ["interrupted", ("patient", 2.0)]
+        assert res.in_use == 0
+
+    def test_fail_waiters_propagates_error(self):
+        env = Environment()
+        c = Container(env, capacity=100.0, init=0.0)
+        seen = []
+
+        def waiter():
+            try:
+                yield c.get(1.0)
+            except SimulationError as exc:
+                seen.append(str(exc))
+
+        env.process(waiter())
+
+        def crash():
+            yield env.timeout(1.0)
+            c.fail_waiters(SimulationError("provider crashed"))
+
+        env.process(crash())
+        env.run()
+        assert seen == ["provider crashed"]

@@ -2,6 +2,8 @@
 
 import math
 
+import pytest
+
 from repro.simkit.trace import Metrics, SampleStats
 
 
@@ -25,6 +27,26 @@ class TestSampleStats:
         s = SampleStats()
         s.add(7.0)
         assert s.stdev == 0.0
+
+    def test_stdev_survives_large_offsets(self):
+        """Welford regression: the naive E[x^2]-E[x]^2 form catastrophically
+        cancels when the spread is tiny relative to the magnitude — exactly
+        the shape of millisecond jitter hours into a simulated timeline."""
+        base = 1e9
+        offsets = (0.0, 1.0, 2.0, 3.0, 4.0)
+        s = SampleStats()
+        for o in offsets:
+            s.add(base + o)
+        # population stdev of the offsets; the base must cancel exactly
+        assert s.stdev == pytest.approx(math.sqrt(2.0), rel=1e-9)
+        assert s.mean == pytest.approx(base + 2.0)
+
+    def test_stdev_never_negative_under_cancellation(self):
+        s = SampleStats()
+        for _ in range(100):
+            s.add(1e12 + 0.001)
+        assert s.stdev >= 0.0
+        assert s.stdev == pytest.approx(0.0, abs=1e-6)
 
 
 class TestMetrics:
