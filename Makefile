@@ -1,12 +1,15 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-quick perf sweep-smoke examples clean
+.PHONY: install test lint bench bench-quick perf sweep-smoke examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:            ## tier-1 test suite (what CI runs)
 	PYTHONPATH=src python -m pytest -x -q
+
+lint:            ## ruff over src/ and tests/ (what the CI lint job runs)
+	ruff check src tests
 
 bench:           ## full paper-profile figure reproduction (~25 min)
 	pytest benchmarks/ --benchmark-only

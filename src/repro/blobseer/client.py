@@ -77,19 +77,31 @@ class BlobClient:
         cache = self._node_cache
         missing = [nid for nid in ids if nid not in cache]
         if missing:
-            if self.deployment.retry is not None:
-                yield from self._get_nodes_resilient(missing)
-                return cache
-            by_shard: Dict[Host, List[NodeId]] = {}
-            for nid in missing:
-                by_shard.setdefault(self.deployment.shard_host(nid), []).append(nid)
-            fetches = [
-                rpc.call(self.host, shard, "blob-meta", "get_nodes", shard_ids)
-                for shard, shard_ids in by_shard.items()
-            ]
-            batches = yield from self._parallel(fetches)
-            for batch in batches:
-                cache.update(batch)
+            tracer = self.host.fabric.tracer
+            span = None
+            if tracer.enabled:
+                span = tracer.start("meta-walk", "meta", nodes=len(missing))
+            try:
+                if self.deployment.retry is not None:
+                    yield from self._get_nodes_resilient(missing)
+                    return cache
+                by_shard: Dict[Host, List[NodeId]] = {}
+                for nid in missing:
+                    by_shard.setdefault(self.deployment.shard_host(nid), []).append(nid)
+                fetches = [
+                    rpc.call(self.host, shard, "blob-meta", "get_nodes", shard_ids)
+                    for shard, shard_ids in by_shard.items()
+                ]
+                batches = yield from self._parallel(fetches)
+                for batch in batches:
+                    cache.update(batch)
+            except BaseException as exc:
+                if span is not None:
+                    span.set_error(exc)
+                raise
+            finally:
+                if span is not None:
+                    span.finish()
         return cache
 
     # ------------------------------------------------------------------ #
@@ -197,12 +209,33 @@ class BlobClient:
             def guarded(provider_name: str, indices: List[int]):
                 keys = [refs[i].key for i in indices]
                 provider = dep.fabric.hosts[provider_name]
+                tracer = self.host.fabric.tracer
+                aspan = None
+                if tracer.enabled:
+                    # one span per failover attempt: which replica rank was
+                    # asked, and (on failure) why the attempt died
+                    aspan = tracer.start(
+                        f"fetch-attempt:{attempt}", "chunk",
+                        provider=provider_name, attempt=attempt,
+                        replica=attempt % len(refs[indices[0]].providers),
+                        nchunks=len(indices),
+                    )
                 try:
                     combined = yield from self._call_with_timeout(
                         provider, "blob-data", "get_chunks", keys
                     )
-                except (ProviderUnavailableError, ChunkNotFoundError):
+                except (ProviderUnavailableError, ChunkNotFoundError) as exc:
+                    if aspan is not None:
+                        aspan.set_error(exc)
+                        aspan.finish()
                     return None
+                except BaseException as exc:
+                    if aspan is not None:
+                        aspan.set_error(exc)
+                        aspan.finish()
+                    raise
+                if aspan is not None:
+                    aspan.finish()
                 group: Dict[int, Payload] = {}
                 cursor = 0
                 for i in indices:
@@ -419,6 +452,21 @@ class BlobClient:
 
     def fetch_refs(self, refs: Dict[int, ChunkRef]):
         """Fetch the chunks described by ``refs``, grouped per provider, in parallel."""
+        tracer = self.host.fabric.tracer
+        if tracer.enabled and refs:
+            span = tracer.start("chunk-fetch", "chunk", nchunks=len(refs))
+            try:
+                result = yield from self._fetch_refs_impl(refs)
+                return result
+            except BaseException as exc:
+                span.set_error(exc)
+                raise
+            finally:
+                span.finish()
+        result = yield from self._fetch_refs_impl(refs)
+        return result
+
+    def _fetch_refs_impl(self, refs: Dict[int, ChunkRef]):
         if self.deployment.retry is not None:
             result = yield from self._fetch_refs_resilient(refs)
             return result
@@ -506,40 +554,52 @@ class BlobClient:
             updates = {idx: p for idx, p in updates.items() if idx not in dedup_refs}
 
         # 1. placement
-        indices = sorted(updates)
-        placements = yield from rpc.call(
-            self.host, dep.pmanager_host, "blob-pmgr", "allocate",
-            len(indices), snap.chunk_size, replication,
-        )
-
-        # 2. chunk PUTs to every replica
-        new_refs: Dict[int, ChunkRef] = {}
-        for idx, providers in zip(indices, placements):
-            key = dep.minter.mint_one()
-            new_refs[idx] = ChunkRef(key, tuple(providers), updates[idx].size)
-
-        if dep.retry is None and dep.replica_write_mode == "parallel":
-            # Original path: parallel fan-out grouped per provider, no
-            # timeouts, fail-fast (byte-identical to the pre-fault code).
-            by_provider: Dict[str, List[Tuple[int, Payload]]] = {}
-            for idx in indices:
-                ref = new_refs[idx]
-                for name in ref.providers:
-                    by_provider.setdefault(name, []).append((ref.key, updates[idx]))
-
-            def put_group(provider_name: str, items: List[Tuple[int, Payload]]):
-                provider = dep.fabric.hosts[provider_name]
-                total = sum(p.size for _, p in items)
-                yield from rpc.call(
-                    self.host, provider, "blob-data", "put_chunks", items,
-                    request_bytes=total + 64 * len(items),
-                )
-
-            yield from self._parallel(
-                [put_group(p, items) for p, items in sorted(by_provider.items())]
+        tracer = self.host.fabric.tracer
+        pspan = None
+        if tracer.enabled:
+            pspan = tracer.start("chunk-publish", "chunk", nchunks=len(updates))
+        try:
+            indices = sorted(updates)
+            placements = yield from rpc.call(
+                self.host, dep.pmanager_host, "blob-pmgr", "allocate",
+                len(indices), snap.chunk_size, replication,
             )
-        else:
-            new_refs = yield from self._put_replicated(new_refs, updates)
+
+            # 2. chunk PUTs to every replica
+            new_refs: Dict[int, ChunkRef] = {}
+            for idx, providers in zip(indices, placements):
+                key = dep.minter.mint_one()
+                new_refs[idx] = ChunkRef(key, tuple(providers), updates[idx].size)
+
+            if dep.retry is None and dep.replica_write_mode == "parallel":
+                # Original path: parallel fan-out grouped per provider, no
+                # timeouts, fail-fast (byte-identical to the pre-fault code).
+                by_provider: Dict[str, List[Tuple[int, Payload]]] = {}
+                for idx in indices:
+                    ref = new_refs[idx]
+                    for name in ref.providers:
+                        by_provider.setdefault(name, []).append((ref.key, updates[idx]))
+
+                def put_group(provider_name: str, items: List[Tuple[int, Payload]]):
+                    provider = dep.fabric.hosts[provider_name]
+                    total = sum(p.size for _, p in items)
+                    yield from rpc.call(
+                        self.host, provider, "blob-data", "put_chunks", items,
+                        request_bytes=total + 64 * len(items),
+                    )
+
+                yield from self._parallel(
+                    [put_group(p, items) for p, items in sorted(by_provider.items())]
+                )
+            else:
+                new_refs = yield from self._put_replicated(new_refs, updates)
+        except BaseException as exc:
+            if pspan is not None:
+                pspan.set_error(exc)
+            raise
+        finally:
+            if pspan is not None:
+                pspan.finish()
 
         # register freshly pushed content, then fold in deduplicated refs
         if dep.dedup_index is not None:
@@ -558,34 +618,45 @@ class BlobClient:
             node = dep.metadata.get(nid)
             for home in dep.shard_hosts(nid):
                 by_shard.setdefault(home, {})[nid] = node
-        if by_shard:
-            puts = list(by_shard.items())
-            if dep.retry is None:
-                yield from self._parallel(
-                    [
-                        rpc.call(self.host, shard, "blob-meta", "put_nodes", nodes)
-                        for shard, nodes in puts
-                    ]
-                )
-            else:
-                def guarded_put(shard: Host, nodes: Dict[NodeId, TreeNode]):
-                    try:
-                        yield from self._call_with_timeout(
-                            shard, "blob-meta", "put_nodes", nodes
-                        )
-                    except (ProviderUnavailableError, ChunkNotFoundError):
-                        return False
-                    return True
+        mspan = None
+        if tracer.enabled and by_shard:
+            mspan = tracer.start("meta-scatter", "meta", nodes=len(new_node_ids))
+        try:
+            if by_shard:
+                puts = list(by_shard.items())
+                if dep.retry is None:
+                    yield from self._parallel(
+                        [
+                            rpc.call(self.host, shard, "blob-meta", "put_nodes", nodes)
+                            for shard, nodes in puts
+                        ]
+                    )
+                else:
+                    def guarded_put(shard: Host, nodes: Dict[NodeId, TreeNode]):
+                        try:
+                            yield from self._call_with_timeout(
+                                shard, "blob-meta", "put_nodes", nodes
+                            )
+                        except (ProviderUnavailableError, ChunkNotFoundError):
+                            return False
+                        return True
 
-                oks = yield from self._parallel(
-                    [guarded_put(shard, nodes) for shard, nodes in puts]
-                )
-                ok_shards = {shard.name for ok, (shard, _) in zip(oks, puts) if ok}
-                for nid in new_node_ids:
-                    if not any(h.name in ok_shards for h in dep.shard_hosts(nid)):
-                        raise ProviderUnavailableError(
-                            f"metadata node {nid}: no home shard accepted the write"
-                        )
+                    oks = yield from self._parallel(
+                        [guarded_put(shard, nodes) for shard, nodes in puts]
+                    )
+                    ok_shards = {shard.name for ok, (shard, _) in zip(oks, puts) if ok}
+                    for nid in new_node_ids:
+                        if not any(h.name in ok_shards for h in dep.shard_hosts(nid)):
+                            raise ProviderUnavailableError(
+                                f"metadata node {nid}: no home shard accepted the write"
+                            )
+        except BaseException as exc:
+            if mspan is not None:
+                mspan.set_error(exc)
+            raise
+        finally:
+            if mspan is not None:
+                mspan.finish()
 
         # 4. publish: the version manager orders the snapshot
         rec: SnapshotRecord = yield from rpc.call(

@@ -6,6 +6,7 @@ Subcommands::
     python -m repro snapshot  --instances 16 --diff-mib 15
     python -m repro sweep     --figure fig4 --profile quick --jobs 4
     python -m repro faults    --instances 8 --replication 2 --crashes 2
+    python -m repro trace     --figure fig4 -n 8
     python -m repro bonnie
     python -m repro info
 
@@ -15,8 +16,10 @@ runs a whole figure's measurement sweep through the parallel
 :mod:`repro.runner` engine (multi-core fan-out plus the persistent result
 cache); ``faults`` replays a multideployment while a deterministic fault
 plan crashes storage nodes (chunk replication + client failover keep it
-alive); ``bonnie`` runs the §5.4 micro-benchmark; ``info`` dumps the active
-calibration.
+alive); ``trace`` replays one figure's scenario with the causal tracer
+enabled and writes a Chrome/Perfetto ``trace_event`` JSON plus the
+critical-path breakdown; ``bonnie`` runs the §5.4 micro-benchmark; ``info``
+dumps the active calibration.
 """
 
 from __future__ import annotations
@@ -31,8 +34,13 @@ from .calibration import DEFAULT, Calibration, ImageSpec
 from .common.units import GiB, KiB, MiB, fmt_rate, fmt_size, fmt_time
 
 
-def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--instances", type=int, default=16, help="concurrent VMs")
+def _add_cluster_args(
+    parser: argparse.ArgumentParser, instances_flags=("--instances",)
+) -> None:
+    parser.add_argument(
+        *instances_flags, dest="instances", type=int, default=16,
+        help="concurrent VMs",
+    )
     parser.add_argument("--pool", type=int, default=0,
                         help="storage pool size (0 = max(24, instances))")
     parser.add_argument("--image-mib", type=int, default=1024, help="image size in MiB")
@@ -56,12 +64,34 @@ def _pool(args) -> int:
     return args.pool if args.pool > 0 else max(24, args.instances)
 
 
+def _maybe_install_tracer(args, cloud):
+    """Honour a ``--trace [PATH]`` flag; returns the live tracer or None."""
+    if getattr(args, "trace", None) is None:
+        return None
+    from . import obs
+
+    return obs.install_tracer(cloud.fabric)
+
+
+def _maybe_write_trace(args, tracer, default_name: str) -> None:
+    if tracer is None:
+        return
+    from . import obs
+
+    out = args.trace or default_name
+    tracer.finish_open_spans()
+    obs.write_trace_json(out, tracer)
+    print(f"trace:           {out} ({len(tracer.spans)} spans; "
+          f"open in https://ui.perfetto.dev)")
+
+
 def cmd_deploy(args) -> int:
     from .cloud import build_cloud, deploy
     from .vmsim import make_image
 
     calib = _calibration(args)
     cloud = build_cloud(_pool(args), seed=args.seed, calib=calib)
+    tracer = _maybe_install_tracer(args, cloud)
     image = make_image(calib.image.size, calib.image.boot_touched_bytes, n_regions=48)
     res = deploy(cloud, image, args.instances, args.approach)
     print(f"approach:        {res.approach}")
@@ -70,6 +100,9 @@ def cmd_deploy(args) -> int:
     print(f"avg boot:        {fmt_time(res.avg_boot_time)}")
     print(f"completion:      {fmt_time(res.completion_time)}")
     print(f"network traffic: {fmt_size(res.total_traffic)}")
+    _maybe_write_trace(
+        args, tracer, f"deploy-{args.approach}-n{args.instances}.trace.json"
+    )
     return 0
 
 
@@ -80,6 +113,7 @@ def cmd_snapshot(args) -> int:
 
     calib = _calibration(args)
     cloud = build_cloud(_pool(args), seed=args.seed, calib=calib)
+    tracer = _maybe_install_tracer(args, cloud)
     image = make_image(calib.image.size, calib.image.boot_touched_bytes, n_regions=48)
     res = deploy(cloud, image, args.instances, args.approach)
 
@@ -98,6 +132,59 @@ def cmd_snapshot(args) -> int:
     print(f"avg snapshot time: {fmt_time(snap.avg_time)}")
     print(f"completion:        {fmt_time(snap.completion_time)}")
     print(f"bytes persisted:   {fmt_size(snap.total_bytes_moved)}")
+    _maybe_write_trace(
+        args, tracer, f"snapshot-{args.approach}-n{args.instances}.trace.json"
+    )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from . import obs
+    from .cloud import build_cloud, deploy, snapshot_all
+    from .vmsim import make_image
+    from .vmsim.workloads import read_your_writes_workload
+
+    if args.figure == "fig5" and args.approach == "prepropagation":
+        print("error: prepropagation cannot multisnapshot (paper §5.3)",
+              file=sys.stderr)
+        return 2
+    calib = _calibration(args)
+    cloud = build_cloud(_pool(args), seed=args.seed, calib=calib)
+    tracer = obs.install_tracer(cloud.fabric)
+    image = make_image(calib.image.size, calib.image.boot_touched_bytes, n_regions=48)
+    res = deploy(cloud, image, args.instances, args.approach)
+
+    if args.figure == "fig5":
+        def diff(vm, i):
+            ops = read_your_writes_workload(
+                image.write_base, args.diff_mib * MiB,
+                cloud.fabric.rng.get("cli-diff", i), reread_fraction=0.05,
+            )
+            yield from vm.run_ops(ops)
+
+        procs = [cloud.env.process(diff(vm, i)) for i, vm in enumerate(res.vms)]
+        cloud.run(cloud.env.all_of(procs))
+        snapshot_all(cloud, res.vms, args.approach)
+        roots = obs.snapshot_spans(tracer.spans)
+        title = "per-VM snapshot time breakdown (seconds)"
+    else:
+        roots = obs.boot_spans(tracer.spans)
+        title = "per-VM boot time breakdown (seconds)"
+
+    tracer.finish_open_spans()
+    out = args.out or f"{args.figure}-n{args.instances}.trace.json"
+    obs.write_trace_json(out, tracer)
+
+    if roots:
+        print(obs.render_breakdown_table(roots, tracer.spans, title=title))
+        print()
+        print(obs.render_critical_path(roots[0], tracer.spans))
+        covs = [obs.coverage(r, tracer.spans) for r in roots]
+        print()
+        print(f"span coverage:   {min(covs):.1%} (worst VM) / "
+              f"{sum(covs) / len(covs):.1%} (mean)")
+    print(f"trace:           {out} ({len(tracer.spans)} spans; "
+          f"open in https://ui.perfetto.dev)")
     return 0
 
 
@@ -299,6 +386,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--approach", choices=["mirror", "qcow2-pvfs", "prepropagation"],
         default="mirror",
     )
+    p_deploy.add_argument(
+        "--trace", nargs="?", const="", default=None, metavar="PATH",
+        help="record a Perfetto trace (optional output path; "
+             "default deploy-<approach>-n<N>.trace.json)",
+    )
     p_deploy.set_defaults(func=cmd_deploy)
 
     p_snap = sub.add_parser("snapshot", help="deploy, dirty, multisnapshot")
@@ -306,7 +398,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_snap.add_argument("--approach", choices=["mirror", "qcow2-pvfs"], default="mirror")
     p_snap.add_argument("--diff-mib", type=int, default=15,
                         help="local modifications per VM, in MiB")
+    p_snap.add_argument(
+        "--trace", nargs="?", const="", default=None, metavar="PATH",
+        help="record a Perfetto trace (optional output path; "
+             "default snapshot-<approach>-n<N>.trace.json)",
+    )
     p_snap.set_defaults(func=cmd_snapshot)
+
+    p_trace = sub.add_parser(
+        "trace", help="trace one figure's scenario; write Perfetto JSON"
+    )
+    _add_cluster_args(p_trace, instances_flags=("-n", "--instances"))
+    p_trace.add_argument(
+        "--figure", choices=["fig4", "fig5"], default="fig4",
+        help="fig4 = multideployment boots, fig5 = multisnapshotting",
+    )
+    p_trace.add_argument(
+        "--approach", choices=["mirror", "qcow2-pvfs", "prepropagation"],
+        default="mirror",
+    )
+    p_trace.add_argument("--diff-mib", type=int, default=15,
+                         help="fig5: local modifications per VM, in MiB")
+    p_trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output file (default <figure>-n<N>.trace.json)",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_sweep = sub.add_parser(
         "sweep", help="run a figure's sweep through the parallel runner"

@@ -124,19 +124,38 @@ def deploy(
     t_start = cloud.env.now
     result = DeploymentResult(approach=approach, n_instances=n_instances, init_time=0.0)
 
+    tracer = fabric.tracer
+
     def master():
+        root = None
+        if tracer.enabled:
+            root = tracer.start(
+                f"deploy:{approach}", "deploy", n_instances=n_instances
+            )
         # ---- initialization phase -------------------------------------- #
         if approach == "prepropagation":
-            yield from prepropagate(
-                fabric, cloud.nfs, idents["nfs"], nodes, LOCAL_IMAGE_PATH,
-                fanout=cloud.calib.service.broadcast_fanout,
-            )
+            if tracer.enabled:
+                with tracer.start("init-phase", "init", approach=approach):
+                    yield from prepropagate(
+                        fabric, cloud.nfs, idents["nfs"], nodes, LOCAL_IMAGE_PATH,
+                        fanout=cloud.calib.service.broadcast_fanout,
+                    )
+            else:
+                yield from prepropagate(
+                    fabric, cloud.nfs, idents["nfs"], nodes, LOCAL_IMAGE_PATH,
+                    fanout=cloud.calib.service.broadcast_fanout,
+                )
         elif approach == "qcow2-pvfs":
             def create_one(node):
                 yield cloud.env.timeout(cloud.calib.service.qcow2_create_overhead)
 
+            ispan = None
+            if tracer.enabled:
+                ispan = tracer.start("init-phase", "init", approach=approach)
             procs = cloud.env.process_batch(create_one(n) for n in nodes)
             yield cloud.env.all_of(procs)
+            if ispan is not None:
+                ispan.finish()
         result.init_time = cloud.env.now - t_start
 
         # ---- boot phase ------------------------------------------------- #
@@ -154,6 +173,8 @@ def deploy(
                 boots.append(cloud.env.process(vm.boot(trace), name=f"boot-{name}"))
         if boots:
             yield cloud.env.all_of(boots)
+        if root is not None:
+            root.finish()
 
     cloud.run(cloud.env.process(master(), name=f"deploy-{approach}"))
     result.completion_time = cloud.env.now - t_start

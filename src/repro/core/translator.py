@@ -174,8 +174,22 @@ class RWTranslator:
             if not plan.is_local:
                 counters["mirror-remote-read"] += 1
                 counters["mirror-chunks-fetched"] += len(plan.fetch_chunks)
-                chunks = yield from self._fetch_chunk_set(plan.fetch_chunks)
-                yield from self._apply_gaps(chunks, plan.fill_gaps)
+                tracer = self.client.host.fabric.tracer
+                if tracer.enabled:
+                    span = tracer.start(
+                        "mirror-fetch", "vfs", chunks=len(plan.fetch_chunks)
+                    )
+                    try:
+                        chunks = yield from self._fetch_chunk_set(plan.fetch_chunks)
+                        yield from self._apply_gaps(chunks, plan.fill_gaps)
+                    except BaseException as exc:
+                        span.set_error(exc)
+                        raise
+                    finally:
+                        span.finish()
+                else:
+                    chunks = yield from self._fetch_chunk_set(plan.fetch_chunks)
+                    yield from self._apply_gaps(chunks, plan.fill_gaps)
                 for idx in plan.fetch_chunks:
                     self.modmgr.record_fetch(idx)
             else:
@@ -187,7 +201,20 @@ class RWTranslator:
                 self._metrics.count(
                     "mirror-ranges-fetched", sum(len(g) for g in gaps.values())
                 )
-                yield from self._fetch_ranges(gaps)
+                tracer = self.client.host.fabric.tracer
+                if tracer.enabled:
+                    span = tracer.start(
+                        "mirror-fetch-exact", "vfs", ranges=sum(len(g) for g in gaps.values())
+                    )
+                    try:
+                        yield from self._fetch_ranges(gaps)
+                    except BaseException as exc:
+                        span.set_error(exc)
+                        raise
+                    finally:
+                        span.finish()
+                else:
+                    yield from self._fetch_ranges(gaps)
             else:
                 self._metrics.count("mirror-local-read")
         data = yield from self.local.pread(lo, hi)
@@ -200,9 +227,21 @@ class RWTranslator:
         if plan.gap_fills:
             self._metrics.count("mirror-gap-fill", len(plan.gap_fills))
             indices = [idx for idx, _ in plan.gap_fills]
-            chunks = yield from self._fetch_chunk_set(indices)
             gaps = {idx: [gap] for idx, gap in plan.gap_fills}
-            yield from self._apply_gaps(chunks, gaps)
+            tracer = self.client.host.fabric.tracer
+            if tracer.enabled:
+                span = tracer.start("gap-fill", "vfs", chunks=len(indices))
+                try:
+                    chunks = yield from self._fetch_chunk_set(indices)
+                    yield from self._apply_gaps(chunks, gaps)
+                except BaseException as exc:
+                    span.set_error(exc)
+                    raise
+                finally:
+                    span.finish()
+            else:
+                chunks = yield from self._fetch_chunk_set(indices)
+                yield from self._apply_gaps(chunks, gaps)
         yield from self.local.pwrite(lo, payload)
         self.modmgr.record_write(lo, hi)
         return None
@@ -223,8 +262,20 @@ class RWTranslator:
                 incomplete[idx] = gaps
         if incomplete:
             self._metrics.count("commit-gap-fill", len(incomplete))
-            chunks = yield from self._fetch_chunk_set(sorted(incomplete))
-            yield from self._apply_gaps(chunks, incomplete)
+            tracer = self.client.host.fabric.tracer
+            if tracer.enabled:
+                span = tracer.start("commit-gap-fill", "vfs", chunks=len(incomplete))
+                try:
+                    chunks = yield from self._fetch_chunk_set(sorted(incomplete))
+                    yield from self._apply_gaps(chunks, incomplete)
+                except BaseException as exc:
+                    span.set_error(exc)
+                    raise
+                finally:
+                    span.finish()
+            else:
+                chunks = yield from self._fetch_chunk_set(sorted(incomplete))
+                yield from self._apply_gaps(chunks, incomplete)
             for idx in incomplete:
                 self.modmgr.record_fetch(idx)
         updates: Dict[int, Payload] = {}

@@ -75,7 +75,18 @@ class MirrorHandle:
         if offset < 0 or offset + nbytes > self.size:
             raise MirrorStateError(f"read [{offset},{offset + nbytes}) beyond image")
         self.touched_chunks.update(self.modmgr.chunks_overlapping(offset, offset + nbytes))
-        data = yield from self.translator.read(offset, nbytes)
+        tracer = self.vfs.host.fabric.tracer
+        if tracer.enabled:
+            span = tracer.start("vfs:read", "vfs", offset=offset, nbytes=nbytes)
+            try:
+                data = yield from self.translator.read(offset, nbytes)
+            except BaseException as exc:
+                span.set_error(exc)
+                raise
+            finally:
+                span.finish()
+        else:
+            data = yield from self.translator.read(offset, nbytes)
         return data
 
     def write(self, offset: int, payload: Payload) -> Generator:
@@ -83,7 +94,18 @@ class MirrorHandle:
         self._check()
         if offset < 0 or offset + payload.size > self.size:
             raise MirrorStateError(f"write [{offset},{offset + payload.size}) beyond image")
-        yield from self.translator.write(offset, payload)
+        tracer = self.vfs.host.fabric.tracer
+        if tracer.enabled:
+            span = tracer.start("vfs:write", "vfs", offset=offset, nbytes=payload.size)
+            try:
+                yield from self.translator.write(offset, payload)
+            except BaseException as exc:
+                span.set_error(exc)
+                raise
+            finally:
+                span.finish()
+        else:
+            yield from self.translator.write(offset, payload)
 
     def close(self) -> Generator:
         """munmap + persist modification state for a later re-open."""
@@ -106,9 +128,25 @@ class MirrorHandle:
         COMMITs publish into the clone.
         """
         self._check()
-        rec: SnapshotRecord = yield from self.vfs.client.clone(
-            self.source_blob, self.source_version
-        )
+        tracer = self.vfs.host.fabric.tracer
+        if tracer.enabled:
+            span = tracer.start(
+                "ioctl:CLONE", "snapshot",
+                blob=self.source_blob, version=self.source_version,
+            )
+            try:
+                rec: SnapshotRecord = yield from self.vfs.client.clone(
+                    self.source_blob, self.source_version
+                )
+            except BaseException as exc:
+                span.set_error(exc)
+                raise
+            finally:
+                span.finish()
+        else:
+            rec = yield from self.vfs.client.clone(
+                self.source_blob, self.source_version
+            )
         self.target_blob = rec.blob_id
         self.target_version = rec.version
         self.vfs.host.fabric.metrics.count("ioctl-clone")
@@ -124,15 +162,29 @@ class MirrorHandle:
         """
         self._check()
         metrics = self.vfs.host.fabric.metrics
-        updates = yield from self.translator.collect_dirty_chunks()
-        if not updates:
-            rec = yield from self.vfs.client._lookup_snapshot(
-                self.target_blob, self.target_version
+        tracer = self.vfs.host.fabric.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start("ioctl:COMMIT", "snapshot", blob=self.target_blob)
+        try:
+            updates = yield from self.translator.collect_dirty_chunks()
+            if span is not None:
+                span.set(dirty_chunks=len(updates))
+            if not updates:
+                rec = yield from self.vfs.client._lookup_snapshot(
+                    self.target_blob, self.target_version
+                )
+                return rec
+            rec: SnapshotRecord = yield from self.vfs.client.write_chunks(
+                self.target_blob, updates, base_version=self.target_version
             )
-            return rec
-        rec: SnapshotRecord = yield from self.vfs.client.write_chunks(
-            self.target_blob, updates, base_version=self.target_version
-        )
+        except BaseException as exc:
+            if span is not None:
+                span.set_error(exc)
+            raise
+        finally:
+            if span is not None:
+                span.finish()
         self.target_version = rec.version
         self.modmgr.clear_dirty()
         metrics.count("ioctl-commit")

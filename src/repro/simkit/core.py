@@ -143,6 +143,12 @@ class Process(Event):
         self._send = gen.send
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        # Observability hook: propagate the spawner's trace context into the
+        # child (None unless a tracer is installed; spans never schedule
+        # events, so the timeline is untouched either way).
+        tracer = env._tracer
+        if tracer is not None:
+            tracer.on_spawn(self)
         if _boot is not None:
             # Shared bootstrap (see Environment.process_batch): resumes run
             # in callback (creation) order, which is exactly the order K
@@ -325,6 +331,9 @@ class Environment:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.event_count = 0  # processed events, for perf introspection
+        #: installed :class:`repro.obs.span.Tracer`, or None (the default);
+        #: checked once per Process creation for context propagation
+        self._tracer = None
 
     # ---- factory helpers ------------------------------------------------- #
     def event(self) -> Event:

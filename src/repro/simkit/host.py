@@ -15,6 +15,7 @@ from ..common.errors import SimulationError
 from ..common.payload import SparseFile
 from ..common.rng import RngStreams
 from ..common.units import MB, MILLISECONDS
+from ..obs.span import NULL_TRACER
 from .core import Environment, Event
 from .disk import Disk
 from .network import FlowNetwork, Nic
@@ -34,6 +35,9 @@ class Fabric:
     ):
         self.env = Environment()
         self.metrics = Metrics()
+        #: observability: inert by default; :func:`repro.obs.install_tracer`
+        #: swaps in a live tracer (never affects the timeline either way)
+        self.tracer = NULL_TRACER
         self.network = FlowNetwork(
             self.env, metrics=self.metrics, latency=latency, fairness=fairness
         )

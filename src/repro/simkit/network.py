@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..common.errors import ProviderUnavailableError
 from ..common.units import MB, MILLISECONDS
+from ..obs.span import NULL_TRACER
 from .core import Environment, Event, Timeout
 from .trace import Metrics
 
@@ -103,6 +104,7 @@ class Flow:
         "done",
         "wake_seq",
         "kind",
+        "span",
     )
 
     def __init__(self, src: Nic, dst: Nic, size: float, done: Event, kind: str):
@@ -116,6 +118,7 @@ class Flow:
         self.done = done
         self.wake_seq = 0
         self.kind = kind
+        self.span = None  # observability: set by transfer() when tracing
 
 
 class FlowNetwork:
@@ -140,6 +143,9 @@ class FlowNetwork:
         self.message_threshold = message_threshold
         self.per_message_overhead = per_message_overhead
         self.message_header_bytes = message_header_bytes
+        #: observability: flow begin/end spans; inert unless a tracer is
+        #: installed via :func:`repro.obs.install_tracer`
+        self.tracer = NULL_TRACER
         self._nics: Dict[str, Nic] = {}
         self._flows: Dict[Flow, None] = {}
         #: min-heap of (completion time, push tie-breaker, flow generation,
@@ -187,6 +193,13 @@ class FlowNetwork:
         done = Event(self.env)
         flow = Flow(src, dst, nbytes, done, kind)
         flow.t_last = self.env.now
+        tracer = self.tracer
+        if tracer.enabled:
+            # async span: the flow ends inside the sentinel callback where no
+            # process is active, so it never sits on a context stack
+            flow.span = tracer.start_async(
+                f"flow:{src.name}->{dst.name}", "net", nbytes=int(nbytes), kind=kind
+            )
         self._flows[flow] = None
         src.up_flows[flow] = None
         src.up_share = src.up_capacity / len(src.up_flows)
@@ -278,6 +291,11 @@ class FlowNetwork:
                 flow.t_last = now
             flow.wake_seq += 1  # invalidate completion-heap entries
             self.metrics.traffic[flow.kind] += int(flow.size - flow.remaining)
+            span = flow.span
+            if span is not None:
+                span.set_error(f"aborted: {cause}")
+                span.finish()
+                flow.span = None
             flow.done.fail(ProviderUnavailableError(cause))
         for t in touched:
             t.up_share = t.up_capacity / max(1, len(t.up_flows))
@@ -471,6 +489,13 @@ class FlowNetwork:
         dst.down_share = dst.down_capacity / max(1, len(dst.down_flows))
         flow.wake_seq += 1  # invalidate any remaining heap entries
         self.metrics.traffic[flow.kind] += int(flow.size)
+        span = flow.span
+        if span is not None:
+            elapsed = self.env.now - span.t0
+            if elapsed > 0.0:
+                span.set(achieved_bw=flow.size / elapsed)
+            span.finish()
+            flow.span = None
         if self.fairness == "equal-share":
             self._rebalance_pair(src, dst)
         else:

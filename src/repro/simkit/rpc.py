@@ -99,57 +99,83 @@ def call(
     metrics = fabric.metrics
     env = caller.env
     metrics.counters["rpc"] += 1
-    # The failure registry is empty in the vast majority of runs; skip the
-    # per-call key construction + hash unless failures were injected.
-    if _down_hosts and _key(callee) in _down_hosts:
-        yield env.timeout(RPC_TIMEOUT)
-        raise ProviderUnavailableError(f"{callee.name} unreachable")
-
-    # First contact between two hosts pays connection setup (TCP + service
-    # handshake). Configured per fabric; default 0 keeps unit tests exact.
-    setup = fabric.connection_setup
-    if setup > 0.0 and caller is not callee:
-        pairs = fabric._rpc_conn_pairs
-        pair = (caller.name, callee.name)
-        if pair not in pairs:
-            pairs.add(pair)
-            metrics.counters["rpc-connect"] += 1
-            yield env.timeout(setup)
-
-    # 1. request envelope; bulk requests (e.g. chunk PUTs) ride the fabric
-    if request_bytes > net.message_threshold:
-        yield net.transfer(caller.nic, callee.nic, request_bytes, kind="payload")
-    else:
-        yield net.message(caller.nic, callee.nic, request_bytes, kind="rpc-request")
-
-    # 2. server-side handler (dispatch memoized per callee: the service dict
-    # probe + getattr with an f-string key is measurable at ~40k calls/run)
+    tracer = fabric.tracer
+    span = None
+    if tracer.enabled:
+        span = tracer.start(
+            f"rpc:{service_name}.{method}", "rpc", src=caller.name, dst=callee.name
+        )
     try:
-        handler = callee._rpc_cache[(service_name, method)]
-    except KeyError:
-        service = callee.services.get(service_name)
-        if service is None:
-            raise SimulationError(f"{callee.name}: no service {service_name!r}")
-        handler = getattr(service, f"rpc_{method}", None)
-        if handler is None:
-            raise SimulationError(f"{service_name}: no RPC method {method!r}")
-        callee._rpc_cache[(service_name, method)] = handler
-    result = yield from handler(caller, *args)
+        # The failure registry is empty in the vast majority of runs; skip the
+        # per-call key construction + hash unless failures were injected.
+        if _down_hosts and _key(callee) in _down_hosts:
+            yield env.timeout(RPC_TIMEOUT)
+            raise ProviderUnavailableError(f"{callee.name} unreachable")
 
-    if _down_hosts and _key(callee) in _down_hosts:
-        # Host died while serving (failure injected mid-call).
-        raise ProviderUnavailableError(f"{callee.name} failed during call")
+        # First contact between two hosts pays connection setup (TCP + service
+        # handshake). Configured per fabric; default 0 keeps unit tests exact.
+        setup = fabric.connection_setup
+        if setup > 0.0 and caller is not callee:
+            pairs = fabric._rpc_conn_pairs
+            pair = (caller.name, callee.name)
+            if pair not in pairs:
+                pairs.add(pair)
+                metrics.counters["rpc-connect"] += 1
+                yield env.timeout(setup)
 
-    # 3. response: bulk payloads ride the fair-shared fabric
-    if isinstance(result, Sized):
-        yield net.transfer(callee.nic, caller.nic, result.nbytes, kind="rpc-response")
-        return result.value
-    if isinstance(result, Payload) and result.size > net.message_threshold:
-        yield net.transfer(callee.nic, caller.nic, result.size, kind="payload")
-    else:
-        size = result.size if isinstance(result, Payload) else RESPONSE_BYTES
-        yield net.message(callee.nic, caller.nic, max(size, 1), kind="rpc-response")
-    return result
+        # 1. request envelope; bulk requests (e.g. chunk PUTs) ride the fabric
+        if request_bytes > net.message_threshold:
+            yield net.transfer(caller.nic, callee.nic, request_bytes, kind="payload")
+        else:
+            yield net.message(caller.nic, callee.nic, request_bytes, kind="rpc-request")
+
+        # 2. server-side handler (dispatch memoized per callee: the service dict
+        # probe + getattr with an f-string key is measurable at ~40k calls/run)
+        try:
+            handler = callee._rpc_cache[(service_name, method)]
+        except KeyError:
+            service = callee.services.get(service_name)
+            if service is None:
+                raise SimulationError(f"{callee.name}: no service {service_name!r}")
+            handler = getattr(service, f"rpc_{method}", None)
+            if handler is None:
+                raise SimulationError(f"{service_name}: no RPC method {method!r}")
+            callee._rpc_cache[(service_name, method)] = handler
+        if span is not None:
+            srv_span = tracer.start(
+                f"serve:{service_name}.{method}", "rpc-server", host=callee.name
+            )
+            try:
+                result = yield from handler(caller, *args)
+            except BaseException as exc:
+                srv_span.set_error(exc)
+                raise
+            finally:
+                srv_span.finish()
+        else:
+            result = yield from handler(caller, *args)
+
+        if _down_hosts and _key(callee) in _down_hosts:
+            # Host died while serving (failure injected mid-call).
+            raise ProviderUnavailableError(f"{callee.name} failed during call")
+
+        # 3. response: bulk payloads ride the fair-shared fabric
+        if isinstance(result, Sized):
+            yield net.transfer(callee.nic, caller.nic, result.nbytes, kind="rpc-response")
+            return result.value
+        if isinstance(result, Payload) and result.size > net.message_threshold:
+            yield net.transfer(callee.nic, caller.nic, result.size, kind="payload")
+        else:
+            size = result.size if isinstance(result, Payload) else RESPONSE_BYTES
+            yield net.message(callee.nic, caller.nic, max(size, 1), kind="rpc-response")
+        return result
+    except BaseException as exc:
+        if span is not None:
+            span.set_error(exc)
+        raise
+    finally:
+        if span is not None:
+            span.finish()
 
 
 def send_payload(

@@ -53,6 +53,62 @@ class SampleStats:
         return math.sqrt(max(0.0, self.welford_m2 / self.count))
 
 
+class Histogram:
+    """Fixed-bucket log2 histogram of positive values (durations, sizes).
+
+    Bucket ``i`` holds values in ``[base * 2**i, base * 2**(i + 1))``; with
+    the default ``base`` of 1 µs and 64 buckets the range covers every
+    duration the simulator can produce. Fixed buckets keep ``observe`` O(1)
+    and allocation-free, at the cost of ~2x resolution on the percentile
+    estimates — good enough for the p50/p95/p99 the reports print.
+    """
+
+    __slots__ = ("base", "buckets", "count", "underflow")
+
+    def __init__(self, base: float = 1e-6, n_buckets: int = 64):
+        self.base = base
+        self.buckets = [0] * n_buckets
+        self.count = 0
+        self.underflow = 0  # values below `base` (incl. zero / negative)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        if value < self.base:
+            self.underflow += 1
+            return
+        idx = int(math.log2(value / self.base))
+        buckets = self.buckets
+        if idx >= len(buckets):
+            idx = len(buckets) - 1
+        buckets[idx] += 1
+
+    def percentile(self, q: float) -> float:
+        """Upper edge of the bucket holding the ``q``-quantile observation."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = self.underflow
+        if seen >= rank:
+            return self.base
+        for idx, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank:
+                return self.base * 2.0 ** (idx + 1)
+        return self.base * 2.0 ** len(self.buckets)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+
 @dataclass
 class Metrics:
     """Per-simulation measurement sink."""
@@ -69,6 +125,8 @@ class Metrics:
     timelines: Dict[str, List[Tuple[float, float]]] = field(
         default_factory=lambda: defaultdict(list)
     )
+    #: per-op log2 histograms (p50/p95/p99), e.g. "boot-time", "bonnie-op"
+    histograms: Dict[str, Histogram] = field(default_factory=lambda: defaultdict(Histogram))
 
     # ------------------------------------------------------------------ #
     def add_traffic(self, nbytes: int, kind: str = "bulk") -> None:
@@ -87,6 +145,9 @@ class Metrics:
     def record(self, name: str, t: float, value: float) -> None:
         self.timelines[name].append((t, value))
 
+    def observe(self, name: str, value: float) -> None:
+        self.histograms[name].observe(value)
+
     # ------------------------------------------------------------------ #
     def summary(self) -> str:
         """Human-readable dump, used by examples and failure diagnostics."""
@@ -99,10 +160,29 @@ class Metrics:
                 s = self.samples[name]
                 lines.append(
                     f"  {name:<24} n={s.count:<6} mean={s.mean:.4f}"
+                    f" stdev={s.stdev:.4f}"
                     f" min={s.min_value:.4f} max={s.max_value:.4f}"
+                )
+        if self.histograms:
+            lines.append("histograms:")
+            for name in sorted(self.histograms):
+                h = self.histograms[name]
+                lines.append(
+                    f"  {name:<24} n={h.count:<6} p50={h.p50:.4f}"
+                    f" p95={h.p95:.4f} p99={h.p99:.4f}"
                 )
         if self.counters:
             lines.append("counters:")
             for name in sorted(self.counters):
                 lines.append(f"  {name:<24} {self.counters[name]}")
+        if self.timelines:
+            lines.append("timelines:")
+            for name in sorted(self.timelines):
+                points = self.timelines[name]
+                peak = max(v for _, v in points)
+                last_t, last_v = points[-1]
+                lines.append(
+                    f"  {name:<24} points={len(points):<6} peak={peak:.4f}"
+                    f" last={last_v:.4f}@{last_t:.4f}"
+                )
         return "\n".join(lines)

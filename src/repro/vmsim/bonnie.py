@@ -82,19 +82,22 @@ class BonnieBenchmark:
                 yield from self.backend.write(cursor, Payload.opaque("bonnie", size))
             cursor += size
 
-    def _timed(self, gen) -> Generator:
+    def _timed(self, gen, phase: str) -> Generator:
         t0 = self.env.now
         yield from gen
-        return self.env.now - t0
+        elapsed = self.env.now - t0
+        # per-phase latency histogram (p50/p95/p99 across repeated runs)
+        self.backend.host.fabric.metrics.observe(f"bonnie-{phase}", elapsed)
+        return elapsed
 
     # ------------------------------------------------------------------ #
     def run(self) -> Generator:
         """Execute all phases; returns :class:`BonnieResults`."""
         ws_kb = self.working_set / 1024
 
-        t_write = yield from self._timed(self._sequential(False, True))
-        t_read = yield from self._timed(self._sequential(True, False))
-        t_over = yield from self._timed(self._sequential(True, True))
+        t_write = yield from self._timed(self._sequential(False, True), "block-write")
+        t_read = yield from self._timed(self._sequential(True, False), "block-read")
+        t_over = yield from self._timed(self._sequential(True, True), "block-overwrite")
 
         # Random seeks: seek syscall (metadata class) + small cached read.
         t0 = self.env.now

@@ -46,6 +46,10 @@ class VMInstance:
         """Replay a trace against the backend."""
         env = self.host.env
         backend = self.backend
+        tracer = self.host.fabric.tracer
+        if tracer.enabled:
+            yield from self._run_ops_traced(ops)
+            return
         for op in ops:
             kind = op.kind
             if kind == "cpu":
@@ -60,6 +64,28 @@ class VMInstance:
             else:
                 raise SimulationError(f"unknown boot op {kind!r}")
 
+    def _run_ops_traced(self, ops: Iterable[BootOp]) -> Generator:
+        """run_ops with one span per trace op (guest CPU bursts vs. disk I/O)."""
+        env = self.host.env
+        backend = self.backend
+        tracer = self.host.fabric.tracer
+        for op in ops:
+            kind = op.kind
+            if kind == "cpu":
+                if op.duration > 0:
+                    with tracer.start("guest-cpu", "cpu", duration=op.duration):
+                        yield Timeout(env, op.duration)
+            elif kind == "read":
+                with tracer.start("op:read", "vfs", offset=op.offset, nbytes=op.nbytes):
+                    yield from backend.read(op.offset, op.nbytes)
+            elif kind == "write":
+                with tracer.start("op:write", "vfs", offset=op.offset, nbytes=op.nbytes):
+                    yield from backend.write(
+                        op.offset, Payload.opaque(f"vmwrite-{self.name}", op.nbytes)
+                    )
+            else:
+                raise SimulationError(f"unknown boot op {kind!r}")
+
     def boot(self, trace: List[BootOp]) -> Generator:
         """Hypervisor init + backend open + boot trace. Records boot_time."""
         env = self.host.env
@@ -67,12 +93,32 @@ class VMInstance:
         init = self.rng.uniform(
             self.boot_model.hypervisor_init_min, self.boot_model.hypervisor_init_max
         )
-        yield env.timeout(float(init))
-        yield from self.backend.open()
-        yield from self.run_ops(trace)
+        tracer = self.host.fabric.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start(f"boot:{self.name}", "vm", host=self.host.name)
+        try:
+            if span is not None:
+                with tracer.start("hypervisor-init", "cpu", seconds=float(init)):
+                    yield env.timeout(float(init))
+                with tracer.start("backend-open", "vfs"):
+                    yield from self.backend.open()
+            else:
+                yield env.timeout(float(init))
+                yield from self.backend.open()
+            yield from self.run_ops(trace)
+        except BaseException as exc:
+            if span is not None:
+                span.set_error(exc)
+            raise
+        finally:
+            if span is not None:
+                span.finish()
         self.booted_at = env.now
         self.boot_time = env.now - t_launch
-        self.host.fabric.metrics.sample("boot-time", self.boot_time)
+        metrics = self.host.fabric.metrics
+        metrics.sample("boot-time", self.boot_time)
+        metrics.observe("boot-time", self.boot_time)
         return self.boot_time
 
     def shutdown(self) -> Generator:

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.simkit.trace import Metrics, SampleStats
+from repro.simkit.trace import Histogram, Metrics, SampleStats
 
 
 class TestSampleStats:
@@ -85,3 +85,83 @@ class TestMetrics:
         text = m.summary()
         for token in ("bulk", "boot", "rpc", "1.0 MiB"):
             assert token in text
+
+    def test_observe_builds_histograms(self):
+        m = Metrics()
+        m.observe("op", 0.5)
+        m.observe("op", 2.0)
+        assert m.histograms["op"].count == 2
+
+    def test_summary_pins_sample_line_format(self):
+        """The samples line carries n/mean/stdev/min/max in that order."""
+        m = Metrics()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            m.sample("boot", v)
+        text = m.summary()
+        expected = (
+            f"  {'boot':<24} n={4:<6} mean=2.5000"
+            f" stdev={math.sqrt(1.25):.4f} min=1.0000 max=4.0000"
+        )
+        assert expected in text
+
+    def test_summary_pins_histogram_line_format(self):
+        m = Metrics()
+        for v in (0.5, 0.5, 0.5, 8.0):
+            m.observe("op", v)
+        h = m.histograms["op"]
+        text = m.summary()
+        expected = (
+            f"  {'op':<24} n={4:<6} p50={h.p50:.4f}"
+            f" p95={h.p95:.4f} p99={h.p99:.4f}"
+        )
+        assert expected in text
+
+    def test_summary_renders_timelines(self):
+        m = Metrics()
+        m.record("queue", 0.0, 1.0)
+        m.record("queue", 1.5, 3.0)
+        m.record("queue", 2.0, 2.0)
+        text = m.summary()
+        assert "timelines:" in text
+        assert "points=3" in text
+        assert "peak=3.0000" in text
+        assert "last=2.0000@2.0000" in text
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.p50 == 0.0
+
+    def test_log2_bucketing(self):
+        h = Histogram(base=1.0, n_buckets=8)
+        h.observe(1.5)   # bucket 0: [1, 2)
+        h.observe(3.0)   # bucket 1: [2, 4)
+        h.observe(3.9)   # bucket 1
+        assert h.buckets[0] == 1
+        assert h.buckets[1] == 2
+
+    def test_underflow_and_overflow_clamped(self):
+        h = Histogram(base=1.0, n_buckets=4)
+        h.observe(0.0)
+        h.observe(-1.0)
+        h.observe(1e30)  # beyond the last bucket: clamped, not lost
+        assert h.underflow == 2
+        assert h.buckets[-1] == 1
+        assert h.count == 3
+
+    def test_percentiles_are_bucket_upper_edges(self):
+        h = Histogram(base=1.0, n_buckets=16)
+        for _ in range(99):
+            h.observe(1.5)   # bucket [1, 2)
+        h.observe(1000.0)    # bucket [512, 1024)
+        assert h.p50 == 2.0
+        assert h.p95 == 2.0
+        assert h.p99 == 2.0
+        assert h.percentile(1.0) == 1024.0
+
+    def test_percentile_all_underflow(self):
+        h = Histogram(base=1.0)
+        h.observe(0.5)
+        assert h.p50 == 1.0

@@ -60,6 +60,59 @@ class TestCommands:
         assert "chunk_size" in out
 
 
+class TestTrace:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.figure == "fig4"
+        assert args.approach == "mirror"
+        assert args.instances == 16
+        assert args.out is None
+
+    def test_fig5_rejects_prepropagation(self, capsys):
+        rc = main(["trace", "--figure", "fig5", "--approach", "prepropagation"])
+        assert rc == 2
+        assert "prepropagation" in capsys.readouterr().err
+
+    def test_trace_writes_perfetto_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "fig4.trace.json"
+        rc = main(
+            ["trace", "-n", "2", "--image-mib", "64", "--touched-mib", "6",
+             "--pool", "6", "--out", str(out)]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "critical path of boot:" in text
+        assert "span coverage:" in text
+        assert str(out) in text
+        doc = json.loads(out.read_text())
+        assert any(ev["ph"] == "X" for ev in doc["traceEvents"])
+
+    def test_fig5_trace_breaks_down_snapshots(self, capsys, tmp_path):
+        out = tmp_path / "fig5.trace.json"
+        rc = main(
+            ["trace", "--figure", "fig5", "-n", "2", "--image-mib", "64",
+             "--touched-mib", "4", "--diff-mib", "2", "--pool", "6",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "critical path of snapshot:" in text
+        assert out.exists()
+
+    def test_deploy_accepts_trace_flag(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(
+            ["deploy", "--instances", "2", "--image-mib", "64",
+             "--touched-mib", "6", "--pool", "6", "--trace"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert (tmp_path / "deploy-mirror-n2.trace.json").exists()
+
+
 class TestSweep:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["sweep"])
