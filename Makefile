@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-quick perf sweep-smoke examples clean
+.PHONY: install test lint bench bench-quick perf sweep-smoke p2p-smoke examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,7 +21,11 @@ sweep-smoke:     ## quick-profile fig4 sweep through the parallel runner (2 jobs
 	PYTHONPATH=src python -m repro sweep --figure fig4 --profile quick \
 		--approach mirror --jobs 2 --no-cache
 
-perf: sweep-smoke ## simulator throughput gate vs BENCH_simkit.json (~20 s)
+p2p-smoke:       ## tiny p2p deployment: peer hits > 0, off-path bit-identical
+	PYTHONPATH=src python -m repro p2p --smoke --instances 8 --pool 12 \
+		--image-mib 64 --touched-mib 8
+
+perf: sweep-smoke p2p-smoke ## simulator throughput gate vs BENCH_simkit.json (~20 s)
 	PYTHONPATH=src python benchmarks/bench_simperf.py
 
 examples:

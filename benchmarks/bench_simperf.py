@@ -116,6 +116,23 @@ def measure_sweep_runner(repeats: int = DEFAULT_REPEATS, counts=None, jobs=SWEEP
             walls.append(time.perf_counter() - t0)
         return min(walls)
 
+    cpus = os.cpu_count()
+    if cpus is not None and cpus < 2:
+        # A 1-CPU box cannot show a parallel speedup — the pool only adds
+        # scheduler noise (a recorded 0.99x once read like a regression).
+        # Measure sequential throughput only and say why.
+        seq = best_wall(1)
+        seq_pps = len(specs) / seq
+        return {
+            "points": len(specs),
+            "jobs": jobs,
+            "cpus": cpus,
+            "seq_points_per_s": round(seq_pps, 2),
+            "par_points_per_s": None,
+            "parallel_speedup": None,
+            "note": "parallel comparison skipped: fewer than 2 cpus",
+        }
+
     seq = best_wall(1)
     par = best_wall(jobs)
     seq_pps = len(specs) / seq
@@ -220,11 +237,17 @@ def main(argv=None) -> int:
         )
 
     sweep = measure_sweep_runner(repeats=max(1, args.repeats - 1))
-    print(
-        f"sweep_runner: {sweep['seq_points_per_s']} points/s sequential, "
-        f"{sweep['par_points_per_s']} points/s with {sweep['jobs']} jobs "
-        f"({sweep['parallel_speedup']}x on {sweep['cpus']} cpus)"
-    )
+    if sweep["parallel_speedup"] is None:
+        print(
+            f"sweep_runner: {sweep['seq_points_per_s']} points/s sequential "
+            f"({sweep['note']})"
+        )
+    else:
+        print(
+            f"sweep_runner: {sweep['seq_points_per_s']} points/s sequential, "
+            f"{sweep['par_points_per_s']} points/s with {sweep['jobs']} jobs "
+            f"({sweep['parallel_speedup']}x on {sweep['cpus']} cpus)"
+        )
 
     if args.update:
         committed.setdefault("profile", "quick")

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.runner import (  # noqa: F401 — re-exported for the bench modules
+    P2P,
     PAPER,
     QUICK,
     BenchProfile,

@@ -42,6 +42,9 @@ class BlobClient:
         self.deployment = deployment
         self._node_cache: Dict[NodeId, TreeNode] = {}
         self._snap_cache: Dict[Tuple[int, int], SnapshotRecord] = {}
+        #: cooperative-exchange agent (:mod:`repro.p2p`); ``None`` keeps the
+        #: provider-only fetch path byte-identical to a build without p2p
+        self.peer_agent = None
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -467,6 +470,14 @@ class BlobClient:
         return result
 
     def _fetch_refs_impl(self, refs: Dict[int, ChunkRef]):
+        if self.peer_agent is not None:
+            result = yield from self.peer_agent.fetch_refs(self, refs)
+            return result
+        result = yield from self._fetch_refs_providers(refs)
+        return result
+
+    def _fetch_refs_providers(self, refs: Dict[int, ChunkRef]):
+        """The provider-only fetch path (also the p2p fallback of last resort)."""
         if self.deployment.retry is not None:
             result = yield from self._fetch_refs_resilient(refs)
             return result

@@ -88,8 +88,11 @@ class DataProviderService:
                 if self.cache_chunks:
                     self.ram.add(key)
             parts.append(payload if lo is None else payload.slice(lo, hi))
-        self.host.fabric.metrics.counters["chunk-get"] += len(keys)
-        return Payload.concat(parts)
+        combined = Payload.concat(parts)
+        metrics = self.host.fabric.metrics
+        metrics.counters["chunk-get"] += len(keys)
+        metrics.counters["provider-bytes"] += combined.size
+        return combined
 
     def rpc_put_chunks(self, caller: Host, items: Sequence[Tuple[int, Payload]]):
         """Store chunks; ack semantics depend on the async-write pipeline."""

@@ -83,6 +83,9 @@ class BlobSeerDeployment:
         #: client-side RetryPolicy; ``None`` keeps the original non-resilient
         #: code paths byte-identical (no timeouts, no failover)
         self.retry = retry
+        #: cooperative chunk-exchange overlay (:class:`repro.p2p.PeerNetwork`);
+        #: ``None`` (the default) leaves clients on the provider-only path
+        self.peer_network = None
         self.fabric = fabric
         self.model = model if model is not None else ServiceModel()
         self.metadata = MetadataStore()
@@ -141,7 +144,10 @@ class BlobSeerDeployment:
         return [self.meta_hosts[(primary + r) % n] for r in range(self.meta_replication)]
 
     def client(self, host: Host) -> BlobClient:
-        return BlobClient(host, self)
+        client = BlobClient(host, self)
+        if self.peer_network is not None:
+            client.peer_agent = self.peer_network.agent_for(host)
+        return client
 
     def provider(self, name: str) -> DataProviderService:
         return self.data_services[name]

@@ -6,6 +6,7 @@ Subcommands::
     python -m repro snapshot  --instances 16 --diff-mib 15
     python -m repro sweep     --figure fig4 --profile quick --jobs 4
     python -m repro faults    --instances 8 --replication 2 --crashes 2
+    python -m repro p2p       --instances 32 --directory announce
     python -m repro trace     --figure fig4 -n 8
     python -m repro bonnie
     python -m repro info
@@ -246,6 +247,69 @@ def cmd_faults(args) -> int:
     )
     print(f"client retries:  {retries}")
     return 0 if res.boots_failed == 0 else 1
+
+
+def cmd_p2p(args) -> int:
+    from .cloud import build_cloud, deploy
+    from .vmsim import make_image
+
+    calib = _calibration(args)
+    pool = _pool(args)
+
+    def run(p2p_on: bool):
+        kw = {}
+        if p2p_on:
+            kw = dict(
+                p2p=True,
+                p2p_directory=args.directory,
+                p2p_locate_fanout=args.fanout,
+            )
+            if args.cache_mib > 0:
+                kw["p2p_cache_bytes"] = args.cache_mib * MiB
+        cloud = build_cloud(pool, seed=args.seed, calib=calib, **kw)
+        image = make_image(
+            calib.image.size, calib.image.boot_touched_bytes, n_regions=48
+        )
+        res = deploy(cloud, image, args.instances, "mirror")
+        return cloud, res
+
+    base_cloud, base = run(False)
+    p2p_cloud, res = run(True)
+    base_pb = base_cloud.metrics.counters.get("provider-bytes", 0)
+    p2p_pb = p2p_cloud.metrics.counters.get("provider-bytes", 0)
+    stats = res.p2p_stats or {}
+    saved = 1.0 - (p2p_pb / base_pb) if base_pb else 0.0
+
+    print(f"instances:        {args.instances}  (directory={args.directory}, "
+          f"fanout={args.fanout})")
+    print(f"avg boot:         {fmt_time(base.avg_boot_time)} -> "
+          f"{fmt_time(res.avg_boot_time)}")
+    print(f"completion:       {fmt_time(base.completion_time)} -> "
+          f"{fmt_time(res.completion_time)}")
+    print(f"provider bytes:   {fmt_size(base_pb)} -> {fmt_size(p2p_pb)} "
+          f"({saved:.0%} served by peers instead)")
+    print(f"peer hit ratio:   {stats.get('peer_hit_ratio', 0.0):.1%}")
+    print(f"bytes from peers: {fmt_size(stats.get('bytes_from_peers', 0))}")
+    print(f"peer failovers:   {stats.get('peer_failovers', 0)}")
+
+    if args.smoke:
+        # self-check: the exchange actually served chunks, and a disabled
+        # build is deterministic (two p2p=False runs -> identical timelines)
+        base2_cloud, base2 = run(False)
+        identical = (
+            base_cloud.env.now == base2_cloud.env.now
+            and base_cloud.env.event_count == base2_cloud.env.event_count
+            and base.total_traffic == base2.total_traffic
+            and base.boot_times == base2.boot_times
+        )
+        hit = stats.get("peer_hit_ratio", 0.0) > 0.0
+        improved = p2p_pb < base_pb
+        print(f"smoke: off-path identical={identical} peer-hits={hit} "
+              f"provider-bytes-reduced={improved}")
+        if not (identical and hit and improved):
+            print("error: p2p smoke check failed", file=sys.stderr)
+            return 1
+    return 0
 
 
 def cmd_bonnie(args) -> int:
@@ -492,6 +556,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--rpc-timeout", type=float, default=2.0,
                           help="per-RPC deadline in seconds")
     p_faults.set_defaults(func=cmd_faults)
+
+    p_p2p = sub.add_parser(
+        "p2p", help="multideployment with cooperative peer chunk exchange"
+    )
+    _add_cluster_args(p_p2p)
+    p_p2p.add_argument("--directory", choices=["announce", "rendezvous"],
+                       default="announce", help="peer-location strategy")
+    p_p2p.add_argument("--cache-mib", type=int, default=0,
+                       help="per-node peer cache in MiB (0 = default 64)")
+    p_p2p.add_argument("--fanout", type=int, default=2,
+                       help="candidate peers tried per chunk before providers")
+    p_p2p.add_argument("--smoke", action="store_true",
+                       help="self-check: peer hits > 0, off-path determinism")
+    p_p2p.set_defaults(func=cmd_p2p)
 
     p_bonnie = sub.add_parser("bonnie", help="run the §5.4 micro-benchmark")
     p_bonnie.add_argument("--image-mib", type=int, default=1024)

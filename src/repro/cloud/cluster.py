@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..faults.injector import FaultInjector
     from ..faults.plan import FaultPlan
     from ..faults.policy import RetryPolicy
+    from ..p2p.exchange import PeerNetwork
 
 
 @dataclass
@@ -37,6 +38,8 @@ class Cloud:
     pvfs: Optional[PvfsDeployment]
     calib: Calibration = field(default_factory=lambda: DEFAULT)
     injector: Optional["FaultInjector"] = None
+    #: cooperative chunk-exchange overlay; None unless built with p2p=True
+    p2p: Optional["PeerNetwork"] = None
 
     @property
     def env(self):
@@ -70,6 +73,10 @@ def build_cloud(
     replica_write_mode: str = "parallel",
     meta_replication: Optional[int] = None,
     retry: Optional["RetryPolicy"] = None,
+    p2p: bool = False,
+    p2p_cache_bytes: Optional[int] = None,
+    p2p_directory: str = "announce",
+    p2p_locate_fanout: int = 2,
 ) -> Cloud:
     """Build the simulated testbed.
 
@@ -116,6 +123,26 @@ def build_cloud(
             meta_replication=meta_replication,
             retry=retry,
         )
+    peer_network = None
+    if p2p:
+        if blobseer is None:
+            raise ValueError("p2p chunk exchange requires with_blobseer=True")
+        from ..p2p.exchange import P2PConfig, PeerNetwork
+
+        config_kw = dict(
+            directory=p2p_directory, locate_fanout=p2p_locate_fanout
+        )
+        if p2p_cache_bytes is not None:
+            config_kw["cache_bytes"] = p2p_cache_bytes
+        peer_network = PeerNetwork(
+            fabric,
+            compute,
+            calib.service,
+            config=P2PConfig(**config_kw),
+            directory_host=manager,
+        )
+        blobseer.peer_network = peer_network
+
     pvfs = None
     if with_pvfs:
         pvfs = PvfsDeployment(
@@ -133,4 +160,5 @@ def build_cloud(
         blobseer=blobseer,
         pvfs=pvfs,
         calib=calib,
+        p2p=peer_network,
     )

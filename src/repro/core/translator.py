@@ -48,11 +48,26 @@ class RWTranslator:
 
     # ------------------------------------------------------------------ #
     def _fetch_chunk_set(self, indices: Sequence[int]) -> Generator:
-        """Fetch full chunks by index from the source snapshot."""
+        """Fetch full chunks by index from the source snapshot.
+
+        Sparse index sets (random-access gap fills) are split into contiguous
+        runs so the metadata traversal never walks — or transfers — tree
+        nodes covering chunks the caller does not touch.
+        """
         if not indices:
             return {}
         snap = yield from self.client._lookup_snapshot(self.source_blob, self.source_version)
-        refs = yield from self.client._refs_for_range(snap.root, min(indices), max(indices) + 1)
+        ordered = sorted(set(indices))
+        refs: Dict[int, "ChunkRef"] = {}
+        run_lo = prev = ordered[0]
+        for idx in ordered[1:] + [None]:
+            if idx is not None and idx == prev + 1:
+                prev = idx
+                continue
+            got = yield from self.client._refs_for_range(snap.root, run_lo, prev + 1)
+            refs.update(got)
+            if idx is not None:
+                run_lo = prev = idx
         wanted = {idx: refs[idx] for idx in indices if idx in refs}
         chunks = yield from self.client.fetch_refs(wanted)
         # Holes in the source snapshot read as zeros.

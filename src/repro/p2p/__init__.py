@@ -1,0 +1,34 @@
+"""Cooperative peer-to-peer chunk exchange for multideployment.
+
+Off by default: a cloud built with ``p2p=False`` (the default) never imports
+behavior from this package into the fetch path and stays byte-identical to a
+build without it. See DESIGN.md §10.
+"""
+
+from .cache import PeerChunkCache
+from .directory import (
+    DIRECTORY_SERVICE,
+    AnnounceDirectory,
+    PeerDirectoryService,
+    RendezvousDirectory,
+)
+from .exchange import (
+    PEER_SERVICE,
+    P2PConfig,
+    PeerAgent,
+    PeerExchangeService,
+    PeerNetwork,
+)
+
+__all__ = [
+    "PeerChunkCache",
+    "AnnounceDirectory",
+    "RendezvousDirectory",
+    "PeerDirectoryService",
+    "DIRECTORY_SERVICE",
+    "PEER_SERVICE",
+    "P2PConfig",
+    "PeerAgent",
+    "PeerExchangeService",
+    "PeerNetwork",
+]

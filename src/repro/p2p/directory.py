@@ -1,0 +1,161 @@
+"""Peer directories: which peers *likely* hold a chunk.
+
+Two interchangeable strategies, selected by
+:attr:`~repro.p2p.exchange.P2PConfig.directory`:
+
+* ``announce`` — a lightweight directory service (bound on the cloud's
+  manager node) where every peer announces the chunk keys it caches as a
+  side effect of each fetch. Announcements ride a background process so
+  they never sit on the fetch critical path; lookups are one small
+  synchronous RPC per fetch batch. The directory answers with *actual*
+  holders, rotated per key so repeated lookups spread load across them.
+* ``rendezvous`` — no directory traffic at all: every node independently
+  ranks the peer set by a deterministic hash over ``(chunk key, peer)``
+  (highest-random-weight hashing) and asks the top-ranked owners. Because
+  every booter of the same image fetches the same hot chunks, the owners of
+  a chunk acquire it within the first deployment wave and then serve
+  everyone else — candidate selection is free and uniformly spread by
+  construction.
+
+Both return candidates only; a candidate that turns out not to hold the
+chunk (or is down) is a *miss* and the agent falls back to the next
+candidate and ultimately to the provider path — stale directory state can
+cost a round trip, never correctness.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from ..calibration import ServiceModel
+from ..simkit import rpc
+from ..simkit.core import Timeout
+from ..simkit.host import Host
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .exchange import PeerAgent
+
+#: service name the announce directory binds under on its host
+DIRECTORY_SERVICE = "p2p-dir"
+
+#: wire bytes per (key -> holders) entry in a locate response
+LOCATE_ENTRY_BYTES = 24
+
+
+class RendezvousDirectory:
+    """Stateless highest-random-weight ownership over the peer set."""
+
+    name = "rendezvous"
+
+    def __init__(self, peer_names: Sequence[str], fanout: int):
+        self.peers: Tuple[str, ...] = tuple(peer_names)
+        self.fanout = max(1, min(fanout, len(self.peers)))
+
+    def owners(self, key: int) -> List[str]:
+        """The ``fanout`` peers ranked highest for ``key`` (deterministic)."""
+        ranked = sorted(
+            self.peers,
+            key=lambda name: zlib.crc32(f"{key}:{name}".encode()),
+            reverse=True,
+        )
+        return ranked[: self.fanout]
+
+    def locate(self, agent: "PeerAgent", keys: Sequence[int]):
+        """Candidate holders per key; pure computation, no simulated time."""
+        me = agent.host.name
+        out: Dict[int, Tuple[str, ...]] = {}
+        for key in keys:
+            out[key] = tuple(name for name in self.owners(key) if name != me)
+        return out
+        yield  # pragma: no cover — generator protocol, body never yields
+
+    def on_cached(self, agent: "PeerAgent", keys: Sequence[int]) -> None:
+        """Rendezvous needs no announcements: ownership is computed."""
+
+
+class PeerDirectoryService:
+    """The announce directory's server side (one instance per cloud)."""
+
+    def __init__(self, host: Host, model: ServiceModel, max_holders: int = 16):
+        self.host = host
+        self.model = model
+        self.max_holders = max_holders
+        #: chunk key -> insertion-ordered holder names (dict-as-ordered-set)
+        self.holders: Dict[int, Dict[str, None]] = {}
+        #: per-key rotation cursor spreading lookups across holders
+        self._cursor: Dict[int, int] = {}
+
+    def rpc_announce(self, caller: Host, keys: Sequence[int]):
+        yield Timeout(self.host.env, self.model.metadata_node_overhead * len(keys))
+        name = caller.name
+        for key in keys:
+            entry = self.holders.setdefault(key, {})
+            if name in entry:
+                continue
+            if len(entry) >= self.max_holders:
+                # bounded registry: drop the oldest holder for this key
+                entry.pop(next(iter(entry)))
+            entry[name] = None
+        self.host.fabric.metrics.count("p2p-announce", len(keys))
+        return None
+
+    def rpc_locate(self, caller: Host, keys: Sequence[int], fanout: int):
+        yield Timeout(self.host.env, self.model.metadata_node_overhead * len(keys))
+        me = caller.name
+        out: Dict[int, Tuple[str, ...]] = {}
+        for key in keys:
+            entry = self.holders.get(key)
+            if not entry:
+                out[key] = ()
+                continue
+            names = [n for n in entry if n != me]
+            if not names:
+                out[key] = ()
+                continue
+            cursor = self._cursor.get(key, 0)
+            self._cursor[key] = cursor + 1
+            shift = cursor % len(names)
+            rotated = names[shift:] + names[:shift]
+            out[key] = tuple(rotated[:fanout])
+        self.host.fabric.metrics.count("p2p-locate", len(keys))
+        return rpc.Sized(out, LOCATE_ENTRY_BYTES * len(keys))
+
+
+class AnnounceDirectory:
+    """Client-side handle of the announce directory."""
+
+    name = "announce"
+
+    def __init__(self, service_host: Host, fanout: int):
+        self.service_host = service_host
+        self.fanout = fanout
+
+    def locate(self, agent: "PeerAgent", keys: Sequence[int]):
+        """One locate RPC for the whole batch; {} if the directory is down."""
+        if rpc.is_host_down(self.service_host):
+            return {key: () for key in keys}
+        try:
+            out = yield from rpc.call(
+                agent.host, self.service_host, DIRECTORY_SERVICE, "locate",
+                tuple(keys), self.fanout,
+            )
+        except rpc.ProviderUnavailableError:
+            return {key: () for key in keys}
+        return out
+
+    def on_cached(self, agent: "PeerAgent", keys: Sequence[int]) -> None:
+        """Announce freshly cached keys off the critical path."""
+        if not keys or rpc.is_host_down(self.service_host):
+            return
+
+        def announce(keys=tuple(keys)):
+            try:
+                yield from rpc.call(
+                    agent.host, self.service_host, DIRECTORY_SERVICE,
+                    "announce", keys,
+                )
+            except rpc.ProviderUnavailableError:
+                pass  # directory (or our own host) died; announcement is lost
+
+        agent.host.spawn(announce(), name="p2p-announce")

@@ -13,6 +13,7 @@ from .cache import CODE_VERSION, ResultCache, default_cache_dir, point_key
 from .engine import SweepError, SweepRunner, SweepStats
 from .points import apply_diffs, build_point_cloud, execute_point, known_kinds
 from .profiles import (
+    P2P,
     PAPER,
     QUICK,
     BenchProfile,
@@ -28,6 +29,7 @@ from .spec import POINT_KINDS, PointResult, PointSpec
 __all__ = [
     "BenchProfile",
     "CODE_VERSION",
+    "P2P",
     "PAPER",
     "POINT_KINDS",
     "PointResult",

@@ -226,6 +226,48 @@ def _run_resilience(spec: PointSpec, profile: BenchProfile, calib):
     return cloud, metrics, series
 
 
+@point_kind("p2p")
+def _run_p2p(spec: PointSpec, profile: BenchProfile, calib):
+    """One cooperative-exchange sweep point: mirror deploy, p2p on or off.
+
+    Params: ``p2p`` (enable the exchange; default True), ``directory``
+    (``announce`` | ``rendezvous``), ``cache_mib`` (per-node peer cache;
+    omitted = the :class:`~repro.p2p.exchange.P2PConfig` default),
+    ``locate_fanout`` (candidates tried per chunk before the providers).
+    A point with ``p2p=False`` is the baseline the speedups are measured
+    against — same seed, same image, provider-only fetch path.
+    """
+    from ..common.units import MiB
+
+    enabled = bool(spec.param("p2p", True))
+    cloud_kw = {}
+    if enabled:
+        cloud_kw = dict(
+            p2p=True,
+            p2p_directory=spec.param("directory", "announce"),
+            p2p_locate_fanout=int(spec.param("locate_fanout", 2)),
+        )
+        cache_mib = spec.param("cache_mib")
+        if cache_mib is not None:
+            cloud_kw["p2p_cache_bytes"] = int(cache_mib) * MiB
+    cloud, image = build_point_cloud(profile, spec.seed, calib=calib, **cloud_kw)
+    res = deploy(cloud, image, spec.n, spec.approach or "mirror")
+    metrics = {
+        "avg_boot_time": res.avg_boot_time,
+        "completion_time": res.completion_time,
+        "total_traffic": res.total_traffic,
+        "provider_bytes": float(cloud.metrics.counters.get("provider-bytes", 0)),
+    }
+    stats = res.p2p_stats if res.p2p_stats is not None else {}
+    metrics["peer_hit_ratio"] = float(stats.get("peer_hit_ratio", 0.0))
+    metrics["bytes_from_peers"] = float(stats.get("bytes_from_peers", 0))
+    metrics["bytes_from_providers"] = float(stats.get("bytes_from_providers", 0))
+    metrics["peer_failovers"] = float(stats.get("peer_failovers", 0))
+    metrics["cache_evictions"] = float(stats.get("cache_evictions", 0))
+    series = {"boot_times": tuple(res.boot_times)}
+    return cloud, metrics, series
+
+
 def _mc_config(profile: BenchProfile, calib, image):
     from ..vmsim import MonteCarloConfig
 

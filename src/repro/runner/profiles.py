@@ -73,7 +73,23 @@ QUICK = BenchProfile(
     bonnie_working_set=128 * MiB,
 )
 
-_REGISTRY: Dict[str, BenchProfile] = {PAPER.name: PAPER, QUICK.name: QUICK}
+P2P = BenchProfile(
+    name="p2p",
+    pool_nodes=80,
+    instance_counts=(16, 32, 64),
+    image_size=256 * MiB,
+    chunk_size=256 * KiB,
+    touched_bytes=24 * MiB,
+    n_regions=32,
+    diff_bytes=6 * MiB,
+    mc_workers=16,
+    mc_total_compute=120.0,
+    bonnie_working_set=128 * MiB,
+)
+
+_REGISTRY: Dict[str, BenchProfile] = {
+    PAPER.name: PAPER, QUICK.name: QUICK, P2P.name: P2P,
+}
 
 
 def register_profile(profile: BenchProfile) -> BenchProfile:

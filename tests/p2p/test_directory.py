@@ -1,0 +1,114 @@
+"""Peer directories: rendezvous ownership and the announce service."""
+
+from types import SimpleNamespace
+
+from repro.calibration import ServiceModel
+from repro.p2p import DIRECTORY_SERVICE, PeerDirectoryService, RendezvousDirectory
+from repro.simkit import rpc
+from repro.simkit.host import Fabric
+
+
+def fake_agent(name):
+    return SimpleNamespace(host=SimpleNamespace(name=name))
+
+
+def drive(gen):
+    """Run a no-yield generator to its return value."""
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("locate should not touch the simulated clock")
+
+
+class TestRendezvous:
+    PEERS = [f"node{i}" for i in range(6)]
+
+    def test_owners_deterministic(self):
+        a = RendezvousDirectory(self.PEERS, fanout=2)
+        b = RendezvousDirectory(self.PEERS, fanout=2)
+        for key in range(20):
+            assert a.owners(key) == b.owners(key)
+
+    def test_fanout_clamped_to_peer_count(self):
+        d = RendezvousDirectory(["n0", "n1"], fanout=5)
+        assert d.fanout == 2
+        assert len(d.owners(1)) == 2
+
+    def test_ownership_spreads_over_peers(self):
+        d = RendezvousDirectory(self.PEERS, fanout=1)
+        owners = {d.owners(key)[0] for key in range(64)}
+        assert len(owners) > 1  # not everything hashed onto one peer
+
+    def test_locate_excludes_requester(self):
+        d = RendezvousDirectory(self.PEERS, fanout=len(self.PEERS))
+        out = drive(d.locate(fake_agent("node3"), [1, 2, 3]))
+        for cands in out.values():
+            assert "node3" not in cands
+            assert len(cands) == len(self.PEERS) - 1
+
+    def test_on_cached_is_free(self):
+        d = RendezvousDirectory(self.PEERS, fanout=2)
+        assert d.on_cached(fake_agent("node0"), [1, 2]) is None
+
+
+def setup_service(max_holders=16):
+    fab = Fabric(seed=5)
+    hosts = [fab.add_host(f"node{i}") for i in range(4)]
+    manager = fab.add_host("manager")
+    svc = PeerDirectoryService(manager, ServiceModel(), max_holders=max_holders)
+    rpc.bind(manager, DIRECTORY_SERVICE, svc)
+    return fab, hosts, manager, svc
+
+
+def call(fab, caller, manager, method, *args):
+    def scenario():
+        out = yield from rpc.call(caller, manager, DIRECTORY_SERVICE, method, *args)
+        return out
+
+    return fab.run(fab.env.process(scenario()))
+
+
+class TestAnnounceService:
+    def test_announce_then_locate(self):
+        fab, hosts, manager, svc = setup_service()
+        call(fab, hosts[0], manager, "announce", (1, 2))
+        out = call(fab, hosts[1], manager, "locate", (1, 2, 3), 2)
+        assert out[1] == ("node0",)
+        assert out[2] == ("node0",)
+        assert out[3] == ()  # never announced
+
+    def test_locate_excludes_caller(self):
+        fab, hosts, manager, svc = setup_service()
+        call(fab, hosts[0], manager, "announce", (1,))
+        assert call(fab, hosts[0], manager, "locate", (1,), 2)[1] == ()
+
+    def test_rotation_spreads_lookups(self):
+        fab, hosts, manager, svc = setup_service()
+        for h in hosts[:3]:
+            call(fab, h, manager, "announce", (1,))
+        first = call(fab, hosts[3], manager, "locate", (1,), 1)[1]
+        second = call(fab, hosts[3], manager, "locate", (1,), 1)[1]
+        assert first != second  # the cursor rotated the holder list
+
+    def test_max_holders_bounded(self):
+        fab, hosts, manager, svc = setup_service(max_holders=2)
+        for h in hosts[:3]:
+            call(fab, h, manager, "announce", (7,))
+        assert len(svc.holders[7]) == 2
+        # the oldest holder was dropped to admit the newest
+        assert "node0" not in svc.holders[7]
+        assert "node2" in svc.holders[7]
+
+    def test_duplicate_announce_is_idempotent(self):
+        fab, hosts, manager, svc = setup_service()
+        call(fab, hosts[0], manager, "announce", (1,))
+        call(fab, hosts[0], manager, "announce", (1,))
+        assert list(svc.holders[1]) == ["node0"]
+
+    def test_lookup_counts_metrics(self):
+        fab, hosts, manager, svc = setup_service()
+        call(fab, hosts[0], manager, "announce", (1, 2))
+        call(fab, hosts[1], manager, "locate", (1,), 2)
+        assert fab.metrics.counters["p2p-announce"] == 2
+        assert fab.metrics.counters["p2p-locate"] == 1

@@ -157,3 +157,36 @@ class TestSweep:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert "(0 simulated, 1 from cache)" in second
+
+
+class TestP2P:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["p2p"])
+        assert args.directory == "announce"
+        assert args.fanout == 2
+        assert args.smoke is False
+
+    def test_invalid_directory_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["p2p", "--directory", "bittorrent"])
+
+    def test_p2p_prints_comparison(self, capsys):
+        rc = main(
+            ["p2p", "--instances", "3", "--pool", "6", "--image-mib", "64",
+             "--touched-mib", "6"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "peer hit ratio" in out
+        assert "provider bytes" in out
+
+    def test_p2p_smoke_passes(self, capsys):
+        rc = main(
+            ["p2p", "--instances", "3", "--pool", "6", "--image-mib", "64",
+             "--touched-mib", "6", "--smoke"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "smoke: off-path identical=True" in out
+        assert "peer-hits=True" in out
+        assert "provider-bytes-reduced=True" in out
