@@ -147,6 +147,15 @@ def measure_sweep_runner(repeats: int = DEFAULT_REPEATS, counts=None, jobs=SWEEP
     }
 
 
+def _peak_rss_mib() -> float | None:
+    """Peak RSS of this process in MiB (Linux ru_maxrss is KiB)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
 def _best_of(workload, repeats: int) -> dict:
     walls = []
     events = 0
@@ -155,11 +164,17 @@ def _best_of(workload, repeats: int) -> dict:
         events = workload()
         walls.append(time.perf_counter() - t0)
     wall = min(walls)
-    return {
+    out = {
         "wall_s": round(wall, 3),
         "events": events,
         "events_per_s": round(events / wall),
     }
+    rss = _peak_rss_mib()
+    if rss is not None:
+        # informational (high-water across the whole process, so earlier
+        # workloads inflate later ones); never gated on
+        out["peak_rss_mib"] = round(rss, 1)
+    return out
 
 
 def measure(repeats: int = DEFAULT_REPEATS, counts=None) -> dict:

@@ -66,6 +66,8 @@ def build_cloud(
     calib: Calibration = DEFAULT,
     with_blobseer: bool = True,
     with_pvfs: bool = True,
+    data_nodes: Optional[int] = None,
+    meta_nodes: Optional[int] = None,
     fairness: str = "equal-share",
     placement: str = "round-robin",
     dedup: bool = False,
@@ -82,8 +84,17 @@ def build_cloud(
 
     Both storage services aggregate the *compute nodes'* local disks, as in
     the paper (§3.1.1: the repository is co-located with the compute nodes,
-    not on dedicated storage hardware).
+    not on dedicated storage hardware). ``data_nodes`` / ``meta_nodes``
+    optionally concentrate the BlobSeer providers on the first K compute
+    nodes instead — a dedicated-repository topology (cf. López García &
+    Fernández del Castillo) used by the scale benchmark to reproduce the
+    paper's fan-in contention regime at large n.
     """
+    for label, k in (("data_nodes", data_nodes), ("meta_nodes", meta_nodes)):
+        if k is not None and not 1 <= k <= compute_nodes:
+            raise ValueError(
+                f"{label} must be in [1, {compute_nodes}], got {k}"
+            )
     tb = calib.testbed
     fabric = Fabric(
         seed=seed,
@@ -111,8 +122,8 @@ def build_cloud(
     if with_blobseer:
         blobseer = BlobSeerDeployment(
             fabric,
-            data_hosts=compute,
-            meta_hosts=compute,
+            data_hosts=compute[:data_nodes] if data_nodes else compute,
+            meta_hosts=compute[:meta_nodes] if meta_nodes else compute,
             vmanager_host=manager,
             model=calib.service,
             placement=placement,

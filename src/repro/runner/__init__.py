@@ -16,6 +16,8 @@ from .profiles import (
     P2P,
     PAPER,
     QUICK,
+    SCALE,
+    SCALE_SMOKE,
     BenchProfile,
     active_profile,
     apply_overrides,
@@ -36,6 +38,8 @@ __all__ = [
     "PointSpec",
     "QUICK",
     "ResultCache",
+    "SCALE",
+    "SCALE_SMOKE",
     "SweepError",
     "SweepRunner",
     "SweepStats",

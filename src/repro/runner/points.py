@@ -36,6 +36,10 @@ def known_kinds() -> Tuple[str, ...]:
 def build_point_cloud(profile: BenchProfile, seed: int, calib=None, **cloud_kw):
     """Fresh cluster + image for one measurement point."""
     calib = calib if calib is not None else profile_calibration(profile)
+    if profile.data_nodes is not None:
+        cloud_kw.setdefault("data_nodes", profile.data_nodes)
+    if profile.meta_nodes is not None:
+        cloud_kw.setdefault("meta_nodes", profile.meta_nodes)
     cloud = build_cloud(profile.pool_nodes, seed=seed, calib=calib, **cloud_kw)
     image = make_image(
         calib.image.size, calib.image.boot_touched_bytes, n_regions=profile.n_regions

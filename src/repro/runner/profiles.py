@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 from ..calibration import DEFAULT, Calibration, ImageSpec
-from ..common.units import KiB, MiB
+from ..common.units import KiB, MB, MiB, MILLISECONDS
 
 #: environment variable selecting the benchmark profile
 PROFILE_ENV = "REPRO_BENCH_PROFILE"
@@ -43,6 +43,15 @@ class BenchProfile:
     mc_workers: int
     mc_total_compute: float
     bonnie_working_set: int
+    #: restrict the BlobSeer data/metadata providers to the first K pool
+    #: nodes (None = every compute node hosts a provider, the §3.1.1
+    #: co-located default). A concentrated repository is what makes the
+    #: paper's fan-in contention regime reachable at large n.
+    data_nodes: Optional[int] = None
+    meta_nodes: Optional[int] = None
+    #: profile-level calibration overrides, same ``("section.field", value)``
+    #: shape as spec overrides; spec overrides apply on top and win.
+    calib_overrides: tuple = ()
 
 
 PAPER = BenchProfile(
@@ -87,8 +96,57 @@ P2P = BenchProfile(
     bonnie_working_set=128 * MiB,
 )
 
+#: The paper-scale fabric profile for the tracked scale benchmark
+#: (``benchmarks/bench_scale.py``). The repository is *concentrated* on the
+#: first 8 pool nodes (dedicated repository nodes, as in López García &
+#: Fernández del Castillo) and the providers get NVMe-class disks, so the
+#: GigE fabric — not the disks — is the bottleneck: hundreds of concurrent
+#: flows fan in on 8 uplinks, the contention regime the paper's fig4/fig5
+#: campaigns study at n in the hundreds.
+SCALE = BenchProfile(
+    name="scale",
+    pool_nodes=520,
+    instance_counts=(64, 256, 512),
+    image_size=32 * MiB,
+    chunk_size=256 * KiB,
+    touched_bytes=8 * MiB,
+    n_regions=32,
+    diff_bytes=2 * MiB,
+    mc_workers=16,
+    mc_total_compute=120.0,
+    bonnie_working_set=128 * MiB,
+    data_nodes=8,
+    meta_nodes=8,
+    calib_overrides=(
+        ("testbed.disk_read_bandwidth", 1000 * MB),
+        ("testbed.disk_write_bandwidth", 1000 * MB),
+        ("testbed.disk_seek_time", 0.05 * MILLISECONDS),
+    ),
+)
+
+#: Tiny sibling of ``scale`` for CI smoke runs (``make scale-smoke``): the
+#: same concentrated-repository shape at an n that simulates in well under a
+#: second, so the gate logic is exercised on every push.
+SCALE_SMOKE = BenchProfile(
+    name="scale-smoke",
+    pool_nodes=20,
+    instance_counts=(4, 12),
+    image_size=8 * MiB,
+    chunk_size=256 * KiB,
+    touched_bytes=2 * MiB,
+    n_regions=16,
+    diff_bytes=1 * MiB,
+    mc_workers=4,
+    mc_total_compute=30.0,
+    bonnie_working_set=32 * MiB,
+    data_nodes=4,
+    meta_nodes=4,
+    calib_overrides=SCALE.calib_overrides,
+)
+
 _REGISTRY: Dict[str, BenchProfile] = {
     PAPER.name: PAPER, QUICK.name: QUICK, P2P.name: P2P,
+    SCALE.name: SCALE, SCALE_SMOKE.name: SCALE_SMOKE,
 }
 
 
@@ -154,4 +212,5 @@ def profile_calibration(
             boot_touched_bytes=profile.touched_bytes,
         )
     )
+    calib = apply_overrides(calib, profile.calib_overrides)
     return apply_overrides(calib, overrides)

@@ -32,6 +32,7 @@ class Fabric:
         nic_bandwidth: float = 117.5 * MB,
         latency: float = 0.1 * MILLISECONDS,
         fairness: str = "equal-share",
+        rebalance: Optional[str] = None,
     ):
         self.env = Environment()
         self.metrics = Metrics()
@@ -39,7 +40,11 @@ class Fabric:
         #: swaps in a live tracer (never affects the timeline either way)
         self.tracer = NULL_TRACER
         self.network = FlowNetwork(
-            self.env, metrics=self.metrics, latency=latency, fairness=fairness
+            self.env,
+            metrics=self.metrics,
+            latency=latency,
+            fairness=fairness,
+            rebalance=rebalance,
         )
         self.rng = RngStreams(seed)
         self.nic_bandwidth = nic_bandwidth

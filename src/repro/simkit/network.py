@@ -31,6 +31,22 @@ timers instead of O(affected flows), and flows whose fair share did not
 change are not touched at all (their linear progress makes deferring the
 bookkeeping exact). See DESIGN.md §"Performance model & profiling".
 
+**Cohort rebalancing** (equal-share, default): under equal-share fairness
+every flow bottlenecked on the same link direction has the *same* rate, so
+each link direction keeps one lazy cohort record (share level, an epoch
+counter, and a closed-segment history of past share levels) instead of
+touching every crossing flow on each arrival/departure. A flow's
+``(remaining, t_last)`` is materialized only when its rate actually changes
+side (bottleneck switch), when it becomes the cohort head (its ETA is
+needed), or when it aborts — by replaying the exact per-segment products the
+eager per-flow update would have computed, so results are bit-identical to
+the legacy path (``rebalance="legacy"``, kept as an in-test oracle). The
+completion heap holds one entry per link direction (the cohort head's ETA,
+invalidated by epoch bumps) rather than one per flow per rate change,
+making flow maintenance near-O(1) per event instead of O(flows on the
+link) — the difference between O(F²) and O(F log F) aggregate work for the
+paper's fan-in deployment patterns. See DESIGN.md §8.
+
 Small control messages (below :attr:`FlowNetwork.message_threshold`) bypass
 the fluid model and pay ``latency + size/capacity + per_message_overhead``;
 their bytes still land in the traffic accounting.
@@ -38,6 +54,7 @@ their bytes still land in the traffic accounting.
 
 from __future__ import annotations
 
+from bisect import insort_right
 from heapq import heapify, heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
@@ -46,6 +63,12 @@ from ..common.units import MB, MILLISECONDS
 from ..obs.span import NULL_TRACER
 from .core import Environment, Event, Timeout
 from .trace import Metrics
+
+#: default rebalancing engine for equal-share fairness; tests monkeypatch
+#: this to "legacy" to run the pre-cohort per-flow path as an oracle
+DEFAULT_REBALANCE = "cohort"
+
+_INF = float("inf")
 
 
 class Nic:
@@ -69,6 +92,8 @@ class Nic:
         "down_flows",
         "up_share",
         "down_share",
+        "up_dir",
+        "down_dir",
     )
 
     def __init__(self, name: str, up_capacity: float, down_capacity: float | None = None):
@@ -79,6 +104,9 @@ class Nic:
         self.down_flows: Dict[Flow, None] = {}
         self.up_share = self.up_capacity
         self.down_share = self.down_capacity
+        #: lazy cohort records, created by FlowNetwork.add_nic in cohort mode
+        self.up_dir: Optional[_Dir] = None
+        self.down_dir: Optional[_Dir] = None
 
     def __repr__(self) -> str:
         return f"Nic({self.name}, up={self.up_capacity / MB:.1f}MB/s)"
@@ -105,6 +133,8 @@ class Flow:
         "wake_seq",
         "kind",
         "span",
+        "home",
+        "seg_idx",
     )
 
     def __init__(self, src: Nic, dst: Nic, size: float, done: Event, kind: str):
@@ -119,6 +149,52 @@ class Flow:
         self.wake_seq = 0
         self.kind = kind
         self.span = None  # observability: set by transfer() when tracing
+        #: cohort mode: the link direction whose share is this flow's rate
+        #: (its bottleneck side) and the absolute index of the first segment
+        #: of that direction's history not yet applied to ``remaining``
+        self.home: Optional[_Dir] = None
+        self.seg_idx = 0
+
+
+class _Dir:
+    """Equal-share cohort state for one link direction (cohort mode).
+
+    ``share`` is the current equal-share level (``capacity / max(1, n)``,
+    same floats as the legacy per-flow path). ``segs`` is the closed history
+    of past share levels as ``(t_end, share)`` pairs: a lazy flow replays the
+    pending suffix (from its ``seg_idx``) to materialize exactly the
+    subtract-and-clamp products the eager path would have applied at each
+    boundary. ``natives`` holds the flows bottlenecked here, sorted by
+    remaining bytes (ties in join order — insort_right is stable), so
+    ``natives[0]`` is always the direction's next completion. ``foreign``
+    holds crossing flows bottlenecked on their other side. ``epoch``
+    invalidates completion-heap entries; ``partner_floor`` is a sound lower
+    bound on the natives' partner-side shares, letting a share increase skip
+    the switch-out scan when no native can possibly leave.
+    """
+
+    __slots__ = (
+        "nic", "up", "share", "epoch", "natives", "foreign",
+        "segs", "seg_base", "partner_floor",
+    )
+
+    def __init__(self, nic: Nic, up: bool, capacity: float):
+        self.nic = nic
+        self.up = up
+        self.share = capacity
+        self.epoch = 0
+        self.natives: List[Flow] = []
+        self.foreign: Dict[Flow, None] = {}
+        self.segs: List[Tuple[float, float]] = []
+        self.seg_base = 0
+        self.partner_floor = _INF
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        d = "up" if self.up else "down"
+        return (
+            f"_Dir({self.nic.name}.{d}, share={self.share:.1f}, "
+            f"natives={len(self.natives)}, foreign={len(self.foreign)})"
+        )
 
 
 class FlowNetwork:
@@ -133,9 +209,14 @@ class FlowNetwork:
         message_threshold: int = 4096,
         per_message_overhead: float = 0.02 * MILLISECONDS,
         message_header_bytes: int = 66,
+        rebalance: Optional[str] = None,
     ):
         if fairness not in ("equal-share", "maxmin"):
             raise ValueError(f"unknown fairness discipline {fairness!r}")
+        if rebalance is None:
+            rebalance = DEFAULT_REBALANCE
+        if rebalance not in ("cohort", "legacy"):
+            raise ValueError(f"unknown rebalance engine {rebalance!r}")
         self.env = env
         self.metrics = metrics if metrics is not None else Metrics()
         self.latency = latency
@@ -146,6 +227,19 @@ class FlowNetwork:
         #: observability: flow begin/end spans; inert unless a tracer is
         #: installed via :func:`repro.obs.install_tracer`
         self.tracer = NULL_TRACER
+        self.rebalance = rebalance
+        #: cohort engine active? (maxmin always runs the per-flow path — its
+        #: progressive filling is inherently global, see DESIGN.md §8)
+        self._cohort = fairness == "equal-share" and rebalance == "cohort"
+        #: link directions touched by the current event, in encounter order;
+        #: flushed (epoch bump + head ETA repush) at the end of the event
+        self._dirty: Dict[_Dir, None] = {}
+        #: share changes of the current event awaiting bottleneck settling:
+        #: ``(dir, old_share)`` in change order. Settling is deferred until
+        #: every share of the event is final so switch decisions compare
+        #: final values — mid-event comparisons against stale partner shares
+        #: could move a flow twice and subdivide its float products.
+        self._pending: List[Tuple[_Dir, float]] = []
         self._nics: Dict[str, Nic] = {}
         self._flows: Dict[Flow, None] = {}
         #: min-heap of (completion time, push tie-breaker, flow generation,
@@ -165,6 +259,9 @@ class FlowNetwork:
         if name in self._nics:
             raise ValueError(f"duplicate NIC name {name!r}")
         nic = Nic(name, up_capacity, down_capacity)
+        if self._cohort:
+            nic.up_dir = _Dir(nic, True, nic.up_capacity)
+            nic.down_dir = _Dir(nic, False, nic.down_capacity)
         self._nics[name] = nic
         return nic
 
@@ -202,10 +299,26 @@ class FlowNetwork:
             )
         self._flows[flow] = None
         src.up_flows[flow] = None
-        src.up_share = src.up_capacity / len(src.up_flows)
+        up_share = src.up_capacity / len(src.up_flows)
+        src.up_share = up_share
         dst.down_flows[flow] = None
-        dst.down_share = dst.down_capacity / len(dst.down_flows)
-        if self.fairness == "equal-share":
+        down_share = dst.down_capacity / len(dst.down_flows)
+        dst.down_share = down_share
+        if self._cohort:
+            now = self.env.now
+            self._reshare(src.up_dir, up_share, now)
+            self._reshare(dst.down_dir, down_share, now)
+            # The new flow's bottleneck is the strictly tighter side (ties
+            # stay on the uplink — same value either way, matching the
+            # legacy `min(up, down)` with its `ds < rate` strict compare).
+            if down_share < up_share:
+                home, other = dst.down_dir, src.up_dir
+            else:
+                home, other = src.up_dir, dst.down_dir
+            other.foreign[flow] = None
+            self._insert_native(home, flow, now, other)
+            self._flush_dirty(now)
+        elif self.fairness == "equal-share":
             self._rebalance_pair(src, dst)
         else:
             self._rebalance_global()
@@ -232,7 +345,9 @@ class FlowNetwork:
                 + self.per_message_overhead
                 + wire_bytes / (up if up < down else down)
             )
-            self.metrics.traffic[kind] += wire_bytes
+            # Same API as transfer()/_complete(): accounting hooks (test
+            # doubles, future per-kind observers) see every wire byte.
+            self.metrics.add_traffic(wire_bytes, kind)
         if done is None:
             # A Timeout *is* an event pre-scheduled at now+delay: one
             # flattened constructor instead of Event + schedule_at.
@@ -254,13 +369,26 @@ class FlowNetwork:
         """
         if up_capacity <= 0:
             raise ValueError(f"NIC capacity must be positive, got {up_capacity}")
+        if down_capacity is not None and down_capacity <= 0:
+            # An explicit non-positive downlink used to slip through and
+            # corrupt every share computed from it (zero or negative rates).
+            raise ValueError(
+                f"NIC capacity must be positive, got down_capacity={down_capacity}"
+            )
         nic.up_capacity = float(up_capacity)
         nic.down_capacity = float(
             down_capacity if down_capacity is not None else up_capacity
         )
-        nic.up_share = nic.up_capacity / max(1, len(nic.up_flows))
-        nic.down_share = nic.down_capacity / max(1, len(nic.down_flows))
-        if self.fairness == "equal-share":
+        up_share = nic.up_capacity / max(1, len(nic.up_flows))
+        down_share = nic.down_capacity / max(1, len(nic.down_flows))
+        nic.up_share = up_share
+        nic.down_share = down_share
+        if self._cohort:
+            now = self.env.now
+            self._reshare(nic.up_dir, up_share, now)
+            self._reshare(nic.down_dir, down_share, now)
+            self._flush_dirty(now)
+        elif self.fairness == "equal-share":
             self._rebalance_pair(nic, nic)
         else:
             self._rebalance_global()
@@ -277,6 +405,7 @@ class FlowNetwork:
         if not victims:
             return
         now = self.env.now
+        cohort = self._cohort
         touched: Dict[Nic, None] = {}  # insertion-ordered: determinism
         for flow in victims:
             self._flows.pop(flow, None)
@@ -285,12 +414,28 @@ class FlowNetwork:
             dst.down_flows.pop(flow, None)
             touched[src] = None
             touched[dst] = None
-            if flow.rate > 0.0:
+            if cohort:
+                home = flow.home
+                if home is not None:
+                    # materialize at the pre-failure rate: replay the pending
+                    # closed segments, then the open partial to now — the
+                    # exact products the eager path would have applied
+                    self._replay(flow)
+                    t = flow.t_last
+                    if t < now:
+                        rem = flow.remaining - home.share * (now - t)
+                        flow.remaining = rem if rem > 0.0 else 0.0
+                        flow.t_last = now
+                    partner = self._partner_dir(flow)
+                    self._remove_native(home, flow)
+                    del partner.foreign[flow]
+                    flow.home = None
+            elif flow.rate > 0.0:
                 rem = flow.remaining - flow.rate * (now - flow.t_last)
                 flow.remaining = rem if rem > 0.0 else 0.0
                 flow.t_last = now
             flow.wake_seq += 1  # invalidate completion-heap entries
-            self.metrics.traffic[flow.kind] += int(flow.size - flow.remaining)
+            self.metrics.add_traffic(flow.size - flow.remaining, flow.kind)
             span = flow.span
             if span is not None:
                 span.set_error(f"aborted: {cause}")
@@ -300,7 +445,12 @@ class FlowNetwork:
         for t in touched:
             t.up_share = t.up_capacity / max(1, len(t.up_flows))
             t.down_share = t.down_capacity / max(1, len(t.down_flows))
-        if self.fairness == "equal-share":
+        if cohort:
+            for t in touched:
+                self._reshare(t.up_dir, t.up_share, now)
+                self._reshare(t.down_dir, t.down_share, now)
+            self._flush_dirty(now)
+        elif self.fairness == "equal-share":
             for t in touched:
                 self._rebalance_pair(t, t)
         else:
@@ -328,6 +478,229 @@ class FlowNetwork:
             flow.ctime = ctime
             self._push_seq += 1
             heappush(self._completions, (ctime, self._push_seq, flow.wake_seq, flow))
+
+    # ------------------------------------------------------------------ #
+    # cohort engine (equal-share): lazy per-link-direction rate epochs
+    # ------------------------------------------------------------------ #
+    def _partner_dir(self, flow: Flow) -> _Dir:
+        """The link direction a flow crosses besides its bottleneck side."""
+        src_up = flow.src.up_dir
+        return flow.dst.down_dir if flow.home is src_up else src_up
+
+    def _replay(self, flow: Flow, stop: Optional[int] = None) -> None:
+        """Drain the flow's pending closed segments (exact materialization).
+
+        Each pending segment ``(t_end, share)`` corresponds to one
+        subtract-and-clamp the eager per-flow path performed at that
+        boundary; replaying them in order reproduces the same float results
+        bit-for-bit. ``stop`` (an absolute segment index) excludes a suffix —
+        used when a bottleneck switch does not change the rate *value*, where
+        the eager path skipped the materialization entirely.
+        """
+        home = flow.home
+        segs = home.segs
+        i = flow.seg_idx - home.seg_base
+        end = len(segs) if stop is None else stop - home.seg_base
+        if i >= end:
+            return
+        rem = flow.remaining
+        t = flow.t_last
+        while i < end:
+            t_end, share = segs[i]
+            rem -= share * (t_end - t)
+            if rem <= 0.0:
+                rem = 0.0
+            t = t_end
+            i += 1
+        flow.remaining = rem
+        flow.t_last = t
+        flow.seg_idx = home.seg_base + end
+
+    def _virtual_rem(self, flow: Flow, now: float) -> float:
+        """The flow's remaining bytes at ``now``, computed without mutating.
+
+        Used as the insort key: probing a native mid-segment must not
+        materialize it (the eager path would not have touched it), so the
+        pending segments plus the open partial are applied to a local copy.
+        """
+        home = flow.home
+        segs = home.segs
+        i = flow.seg_idx - home.seg_base
+        n = len(segs)
+        rem = flow.remaining
+        t = flow.t_last
+        while i < n:
+            t_end, share = segs[i]
+            rem -= share * (t_end - t)
+            if rem <= 0.0:
+                rem = 0.0
+            t = t_end
+            i += 1
+        if t < now:
+            rem -= home.share * (now - t)
+            if rem <= 0.0:
+                rem = 0.0
+        return rem
+
+    def _insert_native(self, d: _Dir, flow: Flow, now: float, partner: _Dir) -> None:
+        """Make ``flow`` a native of ``d`` (its rate = d.share from now on)."""
+        flow.home = d
+        flow.seg_idx = d.seg_base + len(d.segs)
+        flow.rate = d.share  # informational; authoritative rate is d.share
+        if partner.share < d.partner_floor:
+            d.partner_floor = partner.share
+        insort_right(d.natives, flow, key=lambda g: self._virtual_rem(g, now))
+        if d not in self._dirty:
+            self._dirty[d] = None
+
+    def _remove_native(self, d: _Dir, flow: Flow) -> None:
+        d.natives.remove(flow)
+        if d not in self._dirty:
+            self._dirty[d] = None
+
+    def _reshare(self, d: _Dir, new_share: float, now: float) -> None:
+        """Apply a share *value* change to one link direction.
+
+        Closes the current segment (recording the old level for lazy
+        replays) and queues the direction for bottleneck settling at event
+        end (:meth:`_settle`). Equal-value calls are no-ops, exactly like
+        the legacy path's skip-unchanged-rate.
+        """
+        old = d.share
+        if new_share == old:
+            return
+        if d not in self._dirty:
+            self._dirty[d] = None
+        natives = d.natives
+        if natives:
+            segs = d.segs
+            segs.append((now, old))
+            if len(segs) > 256 and len(segs) > 8 * len(natives):
+                # compact: drain everyone to the second-to-last boundary
+                # (the final segment stays — a tie switch may need to skip
+                # it) and drop the replayed prefix
+                stop = d.seg_base + len(segs) - 1
+                for g in natives:
+                    self._replay(g, stop)
+                last = segs[-1]
+                d.seg_base += len(segs) - 1
+                segs[:] = [last]
+        d.share = new_share
+        self._pending.append((d, old))
+
+    def _settle(self, now: float) -> None:
+        """Process the event's bottleneck switches, all shares final.
+
+        A decrease can capture foreign flows whose other side is now looser;
+        an increase can lose natives to their other side. Each direction is
+        reshared at most once per event, so ``old`` is the rate its natives
+        actually had before now.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        for d, old in pending:
+            if d.share < old:
+                if d.foreign:
+                    self._absorb(d, now)
+            elif d.natives and d.partner_floor < d.share:
+                self._expel(d, now, old)
+        pending.clear()
+
+    def _absorb(self, d: _Dir, now: float) -> None:
+        """After a share decrease: capture foreign flows now tighter here."""
+        share = d.share
+        moved: List[Flow] = []
+        for f in d.foreign:
+            home = f.home
+            if share < home.share:
+                moved.append(f)
+            elif home.partner_floor > share:
+                # this side got looser than the cached bound of the flow's
+                # bottleneck cohort; lower it so future increases there scan
+                home.partner_floor = share
+        for f in moved:
+            home = f.home
+            hsegs = home.segs
+            if hsegs and hsegs[-1][0] == now and hsegs[-1][1] == share:
+                # the home was reshared away from exactly our level: the
+                # flow's rate *value* is preserved across the switch, so the
+                # eager path skipped the materialization — replay everything
+                # except the just-closed segment, keeping (t_last, remaining)
+                # spanning it
+                self._replay(f, home.seg_base + len(hsegs) - 1)
+            else:
+                # rate value changes — the eager path materializes at now:
+                # pending segments, then the open partial at the old rate
+                # (home.share if the home was not reshared this event; if it
+                # was, the replay drains to now and the partial is empty)
+                self._replay(f)
+                t = f.t_last
+                if t < now:
+                    rem = f.remaining - home.share * (now - t)
+                    f.remaining = rem if rem > 0.0 else 0.0
+                    f.t_last = now
+            self._remove_native(home, f)
+            home.foreign[f] = None
+            del d.foreign[f]
+            self._insert_native(d, f, now, home)
+
+    def _expel(self, d: _Dir, now: float, old_share: float) -> None:
+        """After a share increase: hand off natives now tighter elsewhere."""
+        share = d.share
+        keep: List[Flow] = []
+        moved: List[Tuple[Flow, _Dir]] = []
+        floor = _INF
+        for f in d.natives:
+            p = self._partner_dir(f)
+            ps = p.share
+            if ps < share:
+                moved.append((f, p))
+            else:
+                keep.append(f)
+                if ps < floor:
+                    floor = ps
+        d.partner_floor = floor
+        if not moved:
+            return
+        d.natives = keep  # removal preserves the survivors' sorted order
+        stop = d.seg_base + len(d.segs) - 1
+        for f, p in moved:
+            if p.share == old_share:
+                # the rate *value* is unchanged, so the eager path skipped
+                # this materialization: replay everything except the segment
+                # just closed, keeping (t_last, remaining) spanning it — the
+                # next product covers the whole constant-rate interval
+                self._replay(f, stop)
+            else:
+                self._replay(f)
+            d.foreign[f] = None
+            del p.foreign[f]
+            self._insert_native(p, f, now, d)
+        if d not in self._dirty:
+            self._dirty[d] = None
+
+    def _flush_dirty(self, now: float) -> None:
+        """End-of-event: settle switches, invalidate dirs, repush head ETAs."""
+        self._settle(now)
+        dirty = self._dirty
+        if dirty:
+            completions = self._completions
+            for d in dirty:
+                d.epoch += 1
+                natives = d.natives
+                if natives:
+                    head = natives[0]
+                    self._replay(head)
+                    # t_last may lag now after a value-preserving switch; the
+                    # ETA is the one the eager path pushed at that older
+                    # materialization: t_last + remaining / share
+                    ctime = head.t_last + head.remaining / d.share
+                    head.ctime = ctime
+                    self._push_seq += 1
+                    heappush(completions, (ctime, self._push_seq, d.epoch, d))
+            dirty.clear()
+        self._arm_sentinel()
 
     def _rebalance_pair(self, src: Nic, dst: Nic) -> None:
         """Equal-share rebalance after an arrival/departure on (src, dst).
@@ -378,24 +751,34 @@ class FlowNetwork:
         links: Dict[Tuple[str, Nic], list] = {}
         link_list: List[list] = []
         flow_links: Dict[Flow, Tuple[list, list]] = {}
+        # many flows share a (src, dst) pair (fan-in to a repository node);
+        # memoize the resolved link tuple per pair to skip repeat lookups
+        pair_links: Dict[Tuple[Nic, Nic], Tuple[list, list]] = {}
         for flow in flows:
-            key_u = ("u", flow.src)
-            lu = links.get(key_u)
-            if lu is None:
-                lu = [flow.src.up_capacity, 0, {}, 0, len(link_list)]
-                links[key_u] = lu
-                link_list.append(lu)
-            key_d = ("d", flow.dst)
-            ld = links.get(key_d)
-            if ld is None:
-                ld = [flow.dst.down_capacity, 0, {}, 0, len(link_list)]
-                links[key_d] = ld
-                link_list.append(ld)
+            pair = (flow.src, flow.dst)
+            pl = pair_links.get(pair)
+            if pl is None:
+                key_u = ("u", flow.src)
+                lu = links.get(key_u)
+                if lu is None:
+                    lu = [flow.src.up_capacity, 0, {}, 0, len(link_list)]
+                    links[key_u] = lu
+                    link_list.append(lu)
+                key_d = ("d", flow.dst)
+                ld = links.get(key_d)
+                if ld is None:
+                    ld = [flow.dst.down_capacity, 0, {}, 0, len(link_list)]
+                    links[key_d] = ld
+                    link_list.append(ld)
+                pl = (lu, ld)
+                pair_links[pair] = pl
+            else:
+                lu, ld = pl
             lu[1] += 1
             lu[2][flow] = None
             ld[1] += 1
             ld[2][flow] = None
-            flow_links[flow] = (lu, ld)
+            flow_links[flow] = pl
         heap: List[Tuple[float, int, int]] = [
             (link[0] / link[1], link[4], link[3]) for link in link_list
         ]
@@ -438,13 +821,24 @@ class FlowNetwork:
         makes the old one a no-op.
         """
         heap = self._completions
-        flows = self._flows
-        while heap:
-            head = heap[0]
-            if head[2] != head[3].wake_seq or head[3] not in flows:
-                heappop(heap)
-                continue
-            break
+        if self._cohort:
+            # entries are (ctime, push_seq, epoch, _Dir): stale when the
+            # direction's epoch moved on or it has no natives left
+            while heap:
+                head = heap[0]
+                d = head[3]
+                if head[2] != d.epoch or not d.natives:
+                    heappop(heap)
+                    continue
+                break
+        else:
+            flows = self._flows
+            while heap:
+                head = heap[0]
+                if head[2] != head[3].wake_seq or head[3] not in flows:
+                    heappop(heap)
+                    continue
+                break
         if not heap:
             return
         t = heap[0][0]
@@ -462,21 +856,31 @@ class FlowNetwork:
             return  # superseded by an earlier-armed sentinel
         self._sentinel_time = None
         heap = self._completions
-        flows = self._flows
-        while heap:
-            head = heap[0]
-            if head[2] != head[3].wake_seq or head[3] not in flows:
-                heappop(heap)
-                continue
-            break
+        cohort = self._cohort
+        if cohort:
+            while heap:
+                head = heap[0]
+                d = head[3]
+                if head[2] != d.epoch or not d.natives:
+                    heappop(heap)
+                    continue
+                break
+        else:
+            flows = self._flows
+            while heap:
+                head = heap[0]
+                if head[2] != head[3].wake_seq or head[3] not in flows:
+                    heappop(heap)
+                    continue
+                break
         if not heap:
             return
         if heap[0][0] <= self.env.now:
             # Complete exactly one flow; the rebalance it triggers re-arms
             # the sentinel (a tied completion fires again at the same time),
             # which keeps completion ordering identical to per-flow timers.
-            flow = heappop(heap)[3]
-            self._complete(flow)
+            entry = heappop(heap)
+            self._complete(entry[3].natives[0] if cohort else entry[3])
         else:
             self._arm_sentinel()
 
@@ -484,11 +888,13 @@ class FlowNetwork:
         self._flows.pop(flow, None)
         src, dst = flow.src, flow.dst
         src.up_flows.pop(flow, None)
-        src.up_share = src.up_capacity / max(1, len(src.up_flows))
+        up_share = src.up_capacity / max(1, len(src.up_flows))
+        src.up_share = up_share
         dst.down_flows.pop(flow, None)
-        dst.down_share = dst.down_capacity / max(1, len(dst.down_flows))
+        down_share = dst.down_capacity / max(1, len(dst.down_flows))
+        dst.down_share = down_share
         flow.wake_seq += 1  # invalidate any remaining heap entries
-        self.metrics.traffic[flow.kind] += int(flow.size)
+        self.metrics.add_traffic(flow.size, flow.kind)
         span = flow.span
         if span is not None:
             elapsed = self.env.now - span.t0
@@ -496,7 +902,17 @@ class FlowNetwork:
                 span.set(achieved_bw=flow.size / elapsed)
             span.finish()
             flow.span = None
-        if self.fairness == "equal-share":
+        if self._cohort:
+            now = self.env.now
+            home = flow.home
+            partner = self._partner_dir(flow)
+            self._remove_native(home, flow)
+            del partner.foreign[flow]
+            flow.home = None
+            self._reshare(src.up_dir, up_share, now)
+            self._reshare(dst.down_dir, down_share, now)
+            self._flush_dirty(now)
+        elif self.fairness == "equal-share":
             self._rebalance_pair(src, dst)
         else:
             self._rebalance_global()

@@ -79,3 +79,44 @@ def test_equal_share_never_faster_than_maxmin(flows):
 @given(st.lists(flow_spec, min_size=1, max_size=10), st.integers(0, 2**16))
 def test_determinism_any_workload(flows, _salt):
     assert run_workload(flows, "equal-share") == run_workload(flows, "equal-share")
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_equal_share_conservative_at_scale(seed):
+    """The PR-1 oracle at paper scale (n >= 128): the equal-share
+    approximation — now served by the cohort engine — must stay conservative
+    against exact max-min on a deployment-shaped fan-in workload."""
+    import random
+
+    rng = random.Random(seed)
+    n_hosts = 128
+    env_flows = []
+    for i in range(192):
+        src = rng.randrange(1, n_hosts)
+        # deployment shape: most traffic funnels into a few repository nodes
+        dst = rng.randrange(0, 4) if rng.random() < 0.7 else rng.randrange(n_hosts)
+        if dst == src:
+            dst = (src + 1) % n_hosts
+        env_flows.append((src, dst, rng.randrange(1, 16), rng.randrange(0, 400)))
+
+    def run_big(fairness):
+        env = Environment()
+        net = FlowNetwork(env, fairness=fairness, latency=0.0)
+        nics = [net.add_nic(f"h{i}", CAP) for i in range(n_hosts)]
+        finish = {}
+
+        def starter(i, src, dst, size_mb, start_ms):
+            yield env.timeout(start_ms / 1000.0)
+            yield net.transfer(nics[src], nics[dst], size_mb * MB)
+            finish[i] = env.now
+
+        for i, spec in enumerate(env_flows):
+            env.process(starter(i, *spec))
+        env.run()
+        return finish
+
+    eq = run_big("equal-share")
+    mm = run_big("maxmin")
+    assert eq.keys() == mm.keys()
+    for i in eq:
+        assert eq[i] >= mm[i] - 1e-6

@@ -42,6 +42,12 @@ class LegacyTimerNetwork(FlowNetwork):
     but its completion timeline is the reference the fast path must match.
     """
 
+    def __init__(self, *args, **kw):
+        # per-flow timers hook _set_rate, which only the legacy (per-flow)
+        # rebalance engine calls; the cohort engine would bypass the oracle
+        kw["rebalance"] = "legacy"
+        super().__init__(*args, **kw)
+
     def _set_rate(self, flow, new_rate, now):
         old = flow.rate
         if old > 0.0:

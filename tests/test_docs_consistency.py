@@ -22,6 +22,7 @@ class TestDesignDoc:
         # simpler: every "name.py" token in the block exists somewhere in src/
         for name in set(re.findall(r"(\w+\.py)", block)):
             hits = list((REPO / "src").rglob(name))
+            hits += list((REPO / "benchmarks").glob(name))
             if not hits:
                 missing.append(name)
         assert not missing, f"DESIGN.md references missing modules: {missing}"
