@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-quick perf scale scale-smoke sweep-smoke p2p-smoke examples clean
+.PHONY: install test lint bench bench-quick perf scale scale-smoke sweep-smoke p2p-smoke churn churn-smoke examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,15 +25,23 @@ p2p-smoke:       ## tiny p2p deployment: peer hits > 0, off-path bit-identical
 	PYTHONPATH=src python -m repro p2p --smoke --instances 8 --pool 12 \
 		--image-mib 64 --touched-mib 8
 
-perf: sweep-smoke p2p-smoke scale-smoke ## simulator throughput gates (~1 min)
+perf: sweep-smoke p2p-smoke scale-smoke churn-smoke ## simulator throughput gates (~2 min)
 	PYTHONPATH=src python benchmarks/bench_simperf.py
 	PYTHONPATH=src python benchmarks/bench_scale.py
+	PYTHONPATH=src python benchmarks/bench_churn.py
 
 scale:           ## n in {64,256,512} scale benchmark vs BENCH_scale.json (~1 min)
 	PYTHONPATH=src python benchmarks/bench_scale.py
 
 scale-smoke:     ## tiny-n scale-benchmark harness check (asserts gate logic)
 	PYTHONPATH=src python benchmarks/bench_scale.py --smoke
+
+churn:           ## tracked churn grids (policies + GC ablation) vs BENCH_churn.json (~2 min)
+	PYTHONPATH=src python benchmarks/bench_churn.py
+
+churn-smoke:     ## tiny-n churn harness check (asserts gate logic + CLI smoke)
+	PYTHONPATH=src python benchmarks/bench_churn.py --smoke
+	PYTHONPATH=src python -m repro churn --smoke --deploys 10 --rate 3 --gc-interval 20
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,359 @@
+"""Tracked long-horizon churn benchmark for the multi-tenant control plane.
+
+Where ``bench_scale`` pins the *single-burst* concurrency regime, this
+harness pins the *steady-state* one: thousands of deploy/snapshot/teardown
+requests arriving over a shared 48-node pool (``churn`` profile, 8
+concentrated repository nodes, rate-limited tenant NICs) while the periodic
+garbage collector keeps the repository bounded.
+
+Two tracked grids, both at seed 1:
+
+* ``policy``   — first-fit vs least-loaded vs locality-aware placement at
+  n=1500 deploy requests with the cooperative peer exchange enabled;
+* ``gc``       — the storage ablation at n=600: periodic GC sweeps vs no
+  GC at all (``gc_interval=0``), same arrival trace.
+
+Each point runs in a **forked child** (true per-point peak RSS) through the
+same :func:`repro.runner.execute_point` path the sweep engine uses, so the
+numbers here are exactly what a cached sweep would replay.
+
+Results are tracked in ``BENCH_churn.json`` at the repository root. Running
+as a script re-measures and **gates**: non-zero exit if
+
+* any simulated outcome drifts from the committed ``current`` section
+  (the metrics are deterministic — any change means the simulated workload
+  changed; rerun with ``--update`` if intentional),
+* wall-clock throughput (requests/s) falls more than
+  ``REGRESSION_TOLERANCE`` below the committed numbers, or
+* the acceptance invariants fail: locality-aware placement must beat
+  first-fit on p99 boot latency, GC must keep the repository bounded while
+  the no-GC ablation grows monotonically, and the tracked grids must cover
+  at least ``MIN_REQUESTS`` simulated requests.
+
+Usage::
+
+    make perf                                    # measure + regression gate
+    make churn-smoke                             # tiny-n gate-logic check
+    PYTHONPATH=src python benchmarks/bench_churn.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import resource
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_churn.json"
+
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runner import PointSpec, execute_point  # noqa: E402
+
+#: allowed fractional drop in requests/s before the throughput gate fails
+REGRESSION_TOLERANCE = 0.25
+
+#: the tracked grids must cover at least this many simulated requests
+MIN_REQUESTS = 10_000
+
+#: fixed seed — simulated outcomes are identical across runs and machines
+SEED = 1
+
+#: placement policies of the tracked ``policy`` grid
+POLICIES = ("first-fit", "least-loaded", "locality")
+
+#: steady-state workload shared by every tracked point: ~96 slots offered
+#: rate*mean_lifetime ≈ 96 concurrent VMs, so the pool runs near saturation
+#: with bursts spilling into the bounded admission queue
+WORKLOAD = (
+    ("rate", 6.0),
+    ("tenants", 8),
+    ("mean_lifetime", 16.0),
+    ("min_lifetime", 4.0),
+)
+
+#: deploy-request counts for the two grids
+POLICY_N = 1500
+GC_N = 600
+
+#: simulated-outcome fields recorded per point; all deterministic, so the
+#: gate requires them to match the committed numbers exactly
+SIM_FIELDS = (
+    "boot_p50_exact", "boot_p99_exact", "boot_mean",
+    "queue_wait_p99_exact", "snapshot_p99_exact",
+    "rejection_rate", "utilization",
+    "booted", "rejected", "snapshots_taken",
+    "gc_sweeps", "bytes_reclaimed", "footprint_peak", "footprint_final",
+    "makespan", "n_requests", "trace_crc",
+)
+
+
+def _spec(label: str, n: int, profile: str, gc_interval: float = 60.0) -> PointSpec:
+    policy = label if label in POLICIES else "least-loaded"
+    return PointSpec(
+        kind="churn", profile=profile, approach=label, n=n, seed=SEED,
+        params=WORKLOAD + (
+            ("policy", policy),
+            ("p2p", True),
+            ("cache_mib", 64),
+            ("gc_interval", gc_interval),
+        ),
+    )
+
+
+def _measure_once(label: str, n: int, profile: str, gc_interval: float) -> dict:
+    t0 = time.perf_counter()
+    res = execute_point(_spec(label, n, profile, gc_interval))
+    wall = time.perf_counter() - t0
+    rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    fp = res.series["footprint_bytes"]
+    row = {k: res.metrics[k] for k in SIM_FIELDS}
+    row["footprint_monotone"] = all(b >= a for a, b in zip(fp, fp[1:]))
+    row["events"] = res.event_count
+    row["wall_s"] = round(wall, 3)
+    row["requests_per_s"] = round(res.metrics["n_requests"] / wall, 1) if wall else 0.0
+    row["peak_rss_mib"] = round(rss_kib / 1024.0, 1)
+    return row
+
+
+def _child(conn, label, n, profile, gc_interval) -> None:
+    try:
+        conn.send(_measure_once(label, n, profile, gc_interval))
+    except BaseException as exc:  # surface the child's failure, don't hang
+        conn.send({"error": f"{type(exc).__name__}: {exc}"})
+    finally:
+        conn.close()
+
+
+def measure_point(label: str, n: int, profile: str, gc_interval: float = 60.0) -> dict:
+    """Measure one churn point in a forked child (true per-point peak RSS)."""
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return _measure_once(label, n, profile, gc_interval)
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_child, args=(child_conn, label, n, profile, gc_interval))
+    proc.start()
+    child_conn.close()
+    row = parent_conn.recv()
+    proc.join()
+    parent_conn.close()
+    if "error" in row:
+        raise RuntimeError(f"churn point {label}@{n} failed in child: {row['error']}")
+    return row
+
+
+def measure(profile: str = "churn", policy_n: int = POLICY_N, gc_n: int = GC_N,
+            verbose: bool = True) -> dict:
+    """Measure both tracked grids; returns {"policy": {...}, "gc": {...}}."""
+    out = {"policy": {}, "gc": {}}
+    for policy in POLICIES:
+        row = measure_point(policy, policy_n, profile)
+        out["policy"][policy] = row
+        if verbose:
+            print(f"policy/{policy}@{policy_n}: boot p99 {row['boot_p99_exact']:.3f}s, "
+                  f"rejection {row['rejection_rate']:.1%}, "
+                  f"{row['n_requests']:.0f} requests in {row['wall_s']:.1f}s wall "
+                  f"({row['requests_per_s']} req/s, {row['peak_rss_mib']} MiB RSS)")
+    for label, interval in (("gc", 60.0), ("nogc", 0.0)):
+        row = measure_point(label, gc_n, profile, gc_interval=interval)
+        out["gc"][label] = row
+        if verbose:
+            print(f"gc/{label}@{gc_n}: peak {row['footprint_peak'] / 2**20:.0f} MiB, "
+                  f"final {row['footprint_final'] / 2**20:.0f} MiB, "
+                  f"reclaimed {row['bytes_reclaimed'] / 2**20:.0f} MiB, "
+                  f"monotone={row['footprint_monotone']} "
+                  f"({row['wall_s']:.1f}s wall)")
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# tracked file + gates
+# --------------------------------------------------------------------------- #
+def load_committed() -> dict:
+    with open(BENCH_PATH) as fh:
+        return json.load(fh)
+
+
+def _points(section: dict):
+    for grid, rows in sorted(section.items()):
+        for label, row in sorted(rows.items()):
+            yield grid, label, row
+
+
+def check_acceptance(fresh: dict) -> list:
+    """The churn invariants; a list of human-readable failures (empty = ok)."""
+    failures = []
+    pol, gc = fresh.get("policy", {}), fresh.get("gc", {})
+
+    total = sum(row.get("n_requests", 0) for _, _, row in _points(fresh))
+    if total < MIN_REQUESTS:
+        failures.append(
+            f"tracked grids cover only {total:.0f} simulated requests "
+            f"(need >= {MIN_REQUESTS})"
+        )
+
+    ff, loc = pol.get("first-fit"), pol.get("locality")
+    if ff and loc and not loc["boot_p99_exact"] < ff["boot_p99_exact"]:
+        failures.append(
+            f"locality p99 boot {loc['boot_p99_exact']:.3f}s does not beat "
+            f"first-fit {ff['boot_p99_exact']:.3f}s with p2p enabled"
+        )
+
+    with_gc, no_gc = gc.get("gc"), gc.get("nogc")
+    if with_gc and no_gc:
+        if not with_gc["bytes_reclaimed"] > 0:
+            failures.append("GC run reclaimed no bytes")
+        if not with_gc["footprint_peak"] < no_gc["footprint_peak"]:
+            failures.append(
+                f"GC peak footprint {with_gc['footprint_peak']:.0f} is not "
+                f"below the no-GC peak {no_gc['footprint_peak']:.0f}"
+            )
+        if not no_gc["footprint_monotone"]:
+            failures.append("no-GC ablation footprint is not monotone growth")
+    return failures
+
+
+def check_regression(fresh: dict, committed: dict) -> list:
+    """Gate fresh numbers against the committed ``current`` section."""
+    failures = []
+    current = committed.get("current", {})
+    for grid, label, now in _points(fresh):
+        base = current.get(grid, {}).get(label)
+        if base is None:
+            continue
+        for field in SIM_FIELDS + ("footprint_monotone",):
+            if now[field] != base[field]:
+                failures.append(
+                    f"{grid}/{label}: {field} {now[field]} != committed "
+                    f"{base[field]} (the simulated workload changed; rerun "
+                    "with --update if intentional)"
+                )
+        floor = base["requests_per_s"] * (1.0 - REGRESSION_TOLERANCE)
+        if now["requests_per_s"] < floor:
+            failures.append(
+                f"{grid}/{label}: {now['requests_per_s']} requests/s is more "
+                f"than {REGRESSION_TOLERANCE:.0%} below the committed "
+                f"{base['requests_per_s']} requests/s"
+            )
+    failures += check_acceptance(fresh)
+    return failures
+
+
+# --------------------------------------------------------------------------- #
+# smoke mode: tiny n, asserts the gate logic itself
+# --------------------------------------------------------------------------- #
+def run_smoke() -> int:
+    """``make churn-smoke``: tiny points on churn-smoke + gate self-test.
+
+    Measures a reduced grid on the ``churn-smoke`` profile (10 nodes,
+    sub-second points), then exercises :func:`check_regression` against
+    synthetic committed data: the gate must pass on matching numbers, flag
+    a drifted simulated outcome, flag a throughput collapse, and flag each
+    acceptance violation on doctored copies.
+    """
+    fresh = measure(profile="churn-smoke", policy_n=40, gc_n=30)
+
+    ok = dict(fresh)
+    # at smoke n the acceptance invariants are not meaningful; check the
+    # gate pieces separately so pass/fail is about the *logic*, not noise
+    committed = {"current": json.loads(json.dumps(fresh))}
+    drift = [f for f in check_regression(fresh, committed)
+             if "!= committed" in f or "requests/s" in f]
+    if drift:
+        print("smoke: gate failed on identical numbers:", drift, file=sys.stderr)
+        return 1
+
+    drifted = json.loads(json.dumps(committed))
+    drifted["current"]["policy"]["first-fit"]["trace_crc"] += 1
+    if not any("trace_crc" in f for f in check_regression(fresh, drifted)):
+        print("smoke: gate missed a simulated-outcome drift", file=sys.stderr)
+        return 1
+
+    slow = json.loads(json.dumps(committed))
+    for rows in slow["current"].values():
+        for row in rows.values():
+            row["requests_per_s"] = row["requests_per_s"] * 100 + 1000
+    if not any("requests/s" in f for f in check_regression(fresh, slow)):
+        print("smoke: gate missed a throughput collapse", file=sys.stderr)
+        return 1
+
+    synth = json.loads(json.dumps(fresh))
+    for _, _, row in _points(synth):
+        row["n_requests"] = MIN_REQUESTS  # silence the size floor
+    synth["policy"]["locality"]["boot_p99_exact"] = (
+        synth["policy"]["first-fit"]["boot_p99_exact"] + 1.0)
+    if not any("does not beat" in f for f in check_acceptance(synth)):
+        print("smoke: gate missed a locality-vs-first-fit violation", file=sys.stderr)
+        return 1
+    synth = json.loads(json.dumps(fresh))
+    for _, _, row in _points(synth):
+        row["n_requests"] = MIN_REQUESTS
+    synth["gc"]["gc"]["bytes_reclaimed"] = 0
+    synth["gc"]["nogc"]["footprint_monotone"] = False
+    bad = check_acceptance(synth)
+    if not any("reclaimed no bytes" in f for f in bad) or not any(
+            "monotone" in f for f in bad):
+        print("smoke: gate missed a GC-ablation violation", file=sys.stderr)
+        return 1
+    if any(row["n_requests"] < 10 for _, _, row in _points(fresh)):
+        print("smoke: suspiciously few simulated requests", file=sys.stderr)
+        return 1
+
+    print("churn smoke passed (gate logic verified)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite BENCH_churn.json's 'current' section with this run",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny-n run on the churn-smoke profile + gate-logic self-test",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke()
+
+    fresh = measure()
+
+    if args.update:
+        committed = load_committed() if BENCH_PATH.exists() else {}
+        committed.setdefault("profile", "churn")
+        committed.setdefault("seed", SEED)
+        committed["workload"] = dict(WORKLOAD)
+        committed["current"] = fresh
+        failures = check_acceptance(fresh)
+        if failures:
+            for f in failures:
+                print(f"CHURN ACCEPTANCE: {f}", file=sys.stderr)
+            return 1
+        with open(BENCH_PATH, "w") as fh:
+            json.dump(committed, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"updated {BENCH_PATH}")
+        return 0
+
+    if not BENCH_PATH.exists() or not load_committed().get("current"):
+        print(f"no committed numbers at {BENCH_PATH}; run with --update first")
+        return 1
+    failures = check_regression(fresh, load_committed())
+    if failures:
+        for f in failures:
+            print(f"CHURN REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print("churn gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

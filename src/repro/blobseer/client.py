@@ -539,7 +539,34 @@ class BlobClient:
         already stored (by any blob) are referenced instead of re-pushed:
         the client fingerprints them (CPU cost) and queries the version
         manager's content index before allocating providers.
+
+        Everything this commit stores is unreachable from published roots
+        until the final publish lands, so freshly minted chunk keys and
+        metadata nodes are pinned against :func:`~repro.blobseer.gc.
+        collect_garbage` for the duration (released on success *and* abort).
         """
+        dep = self.deployment
+        pinned_keys: List[int] = []
+        pinned_nodes: List[int] = []
+        try:
+            rec = yield from self._write_chunks_pinned(
+                blob_id, updates, base_version, replication,
+                pinned_keys, pinned_nodes,
+            )
+        finally:
+            dep.unpin_inflight(keys=pinned_keys, nodes=pinned_nodes)
+        return rec
+
+    def _write_chunks_pinned(
+        self,
+        blob_id: int,
+        updates: Dict[int, Payload],
+        base_version: Optional[int],
+        replication: Optional[int],
+        pinned_keys: List[int],
+        pinned_nodes: List[int],
+    ):
+        """COMMIT body; records GC pins in the caller-owned lists."""
         dep = self.deployment
         if replication is None:
             replication = dep.replication_factor
@@ -581,6 +608,14 @@ class BlobClient:
             for idx, providers in zip(indices, placements):
                 key = dep.minter.mint_one()
                 new_refs[idx] = ChunkRef(key, tuple(providers), updates[idx].size)
+
+            # pin before the first PUT yields; dedup'd refs may point at
+            # chunks another still-unpublished commit registered, so pin
+            # those too (refcounted)
+            pin = [new_refs[idx].key for idx in indices]
+            pin += [ref.key for ref in dedup_refs.values()]
+            pinned_keys.extend(pin)
+            dep.pin_inflight(keys=pin)
 
             if dep.retry is None and dep.replica_write_mode == "parallel":
                 # Original path: parallel fan-out grouped per provider, no
@@ -624,6 +659,8 @@ class BlobClient:
         before = len(dep.metadata)
         new_root = write_chunks(dep.metadata, snap.root, new_refs, n_chunks)
         new_node_ids = range(before, len(dep.metadata))
+        pinned_nodes.extend(new_node_ids)
+        dep.pin_inflight(nodes=new_node_ids)
         by_shard: Dict[Host, Dict[NodeId, TreeNode]] = {}
         for nid in new_node_ids:
             node = dep.metadata.get(nid)

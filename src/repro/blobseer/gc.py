@@ -13,7 +13,12 @@ reachability sweep:
    discarded from their data providers.
 
 The sweep is exact (no refcounts to maintain on the write path, which keeps
-COMMIT latency unchanged) and idempotent. Content-addressed deduplication
+COMMIT latency unchanged) and idempotent. One subtlety: a COMMIT in flight
+has already PUT chunks and scattered metadata nodes that no published root
+reaches until its final publish lands; those are pinned via
+:meth:`~repro.blobseer.service.BlobSeerDeployment.pin_inflight` and treated
+as live, so a sweep racing a commit (or a long-horizon churn run with
+periodic GC) never reclaims chunks the imminent snapshot will reference. Content-addressed deduplication
 (:class:`~repro.blobseer.service.BlobSeerDeployment` with ``dedup=True``)
 composes naturally: a deduplicated chunk survives as long as *any* snapshot
 references it.
@@ -54,6 +59,10 @@ def collect_garbage(deployment: "BlobSeerDeployment") -> GcReport:
     live_nodes: Set[int] = set()
     for rec in live:
         live_nodes |= reachable_nodes(metadata, rec.root)
+    # in-flight commits: nodes already scattered whose publish has not
+    # landed yet are invisible from the roots but must survive
+    # (see BlobSeerDeployment.pin_inflight)
+    live_nodes |= set(deployment.inflight_nodes)
 
     # 3. chunk reachability (leaves of live trees)
     live_keys: Set[int] = set()
@@ -61,6 +70,8 @@ def collect_garbage(deployment: "BlobSeerDeployment") -> GcReport:
         node = metadata.get(nid)
         if node.ref is not None:
             live_keys.add(node.ref.key)
+    # likewise for chunks already PUT by an in-flight commit
+    live_keys |= set(deployment.inflight_keys)
 
     # 4. sweep metadata shards
     nodes_dropped = 0

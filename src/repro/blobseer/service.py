@@ -94,6 +94,15 @@ class BlobSeerDeployment:
         #: content-addressed chunk index (None = dedup disabled). Keys are
         #: payloads (content-equality stands in for a collision-free digest).
         self.dedup_index: Optional[Dict[Payload, ChunkRef]] = {} if dedup else None
+        #: in-flight commit pins (id -> refcount): chunk keys already PUT and
+        #: metadata nodes already scattered by a COMMIT whose publish has not
+        #: landed yet. They are unreachable from every published root, so a
+        #: :func:`~repro.blobseer.gc.collect_garbage` sweep racing the commit
+        #: would otherwise reclaim them and the snapshot published moments
+        #: later would reference vanished chunks. Refcounts allow overlapping
+        #: commits to pin the same deduplicated chunk independently.
+        self.inflight_keys: Dict[int, int] = {}
+        self.inflight_nodes: Dict[int, int] = {}
         self.vmanager_host = vmanager_host
         self.pmanager_host = pmanager_host if pmanager_host is not None else vmanager_host
 
@@ -127,6 +136,29 @@ class BlobSeerDeployment:
         )
         self.pmanager = ProviderManagerService(self.pmanager_host, self.policy, self.model)
         rpc.bind(self.pmanager_host, "blob-pmgr", self.pmanager)
+
+    # ------------------------------------------------------------------ #
+    def pin_inflight(self, keys: Sequence[int] = (), nodes: Sequence[int] = ()):
+        """Shield not-yet-published chunk keys / metadata nodes from the GC."""
+        for key in keys:
+            self.inflight_keys[key] = self.inflight_keys.get(key, 0) + 1
+        for nid in nodes:
+            self.inflight_nodes[nid] = self.inflight_nodes.get(nid, 0) + 1
+
+    def unpin_inflight(self, keys: Sequence[int] = (), nodes: Sequence[int] = ()):
+        """Release commit pins once the snapshot is published (or aborted)."""
+        for key in keys:
+            left = self.inflight_keys.get(key, 0) - 1
+            if left > 0:
+                self.inflight_keys[key] = left
+            else:
+                self.inflight_keys.pop(key, None)
+        for nid in nodes:
+            left = self.inflight_nodes.get(nid, 0) - 1
+            if left > 0:
+                self.inflight_nodes[nid] = left
+            else:
+                self.inflight_nodes.pop(nid, None)
 
     # ------------------------------------------------------------------ #
     def shard_host(self, node_id: int) -> Host:

@@ -1,0 +1,169 @@
+"""Steady-state service-level metrics for churn runs.
+
+One :class:`SloTracker` per run, fed by the lifecycle processes. Everything
+rides on the simulator's existing measurement primitives — the log2-bucket
+:class:`~repro.simkit.trace.Histogram` for latency percentiles (p50/p95/p99
+of boot latency, queue wait and snapshot commit latency) — plus a
+time-integrated slot-utilization accumulator, admission accounting, and the
+storage-footprint timeline that the GC-cadence ablation plots. The summary
+is a plain nested dict of floats/ints (JSON-able, deterministically
+ordered) so runner results and benchmark artifacts can embed it verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..simkit.trace import Histogram
+
+
+def _percentiles(hist: Histogram) -> Dict[str, float]:
+    return {
+        "p50": hist.p50,
+        "p95": hist.p95,
+        "p99": hist.p99,
+        "count": hist.count,
+    }
+
+
+def _exact(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile over raw samples.
+
+    The log2 histogram answers in power-of-two bucket edges — fine for a
+    report, too coarse to compare two policies whose p99s differ by 30%.
+    The benchmark gates use these exact values; the histograms stay in the
+    summary as the O(1)-memory production-style view.
+    """
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
+
+
+class SloTracker:
+    """Accumulates one churn run's steady-state metrics."""
+
+    def __init__(self, total_slots: int):
+        self.total_slots = total_slots
+        self.boot = Histogram()
+        self.queue_wait = Histogram()
+        self.snapshot = Histogram()
+        # admission / lifecycle accounting
+        self.deploys = 0
+        self.rejected = 0
+        self.canceled = 0       # torn down while still queued
+        self.completed = 0
+        self.snapshots_taken = 0
+        self.snapshots_missed = 0  # target already gone (or never admitted)
+        self.lineages_retired = 0  # clone blobs unpublished at teardown
+        # GC / storage hygiene
+        self.gc_sweeps = 0
+        self.bytes_reclaimed = 0
+        self.footprint: List[Tuple[float, int]] = []
+        # time-integrated slot utilization
+        self._busy = 0
+        self._last_t = 0.0
+        self._busy_integral = 0.0
+        # raw samples for exact means/percentiles (Histogram buckets
+        # quantize to powers of two; see _exact)
+        self._boot_raw: List[float] = []
+        self._wait_raw: List[float] = []
+        self._snap_raw: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    def on_deploy(self) -> None:
+        self.deploys += 1
+
+    def on_reject(self) -> None:
+        self.rejected += 1
+
+    def on_cancel(self) -> None:
+        self.canceled += 1
+
+    def on_boot(self, queue_wait: float, boot_time: float) -> None:
+        self.queue_wait.observe(queue_wait)
+        self.boot.observe(boot_time)
+        self._wait_raw.append(queue_wait)
+        self._boot_raw.append(boot_time)
+
+    def on_complete(self) -> None:
+        self.completed += 1
+
+    def on_snapshot(self, commit_latency: float) -> None:
+        self.snapshot.observe(commit_latency)
+        self._snap_raw.append(commit_latency)
+        self.snapshots_taken += 1
+
+    def on_snapshot_missed(self) -> None:
+        self.snapshots_missed += 1
+
+    def on_retire(self) -> None:
+        self.lineages_retired += 1
+
+    def on_gc(self, report) -> None:
+        self.gc_sweeps += 1
+        self.bytes_reclaimed += report.bytes_reclaimed
+
+    def on_footprint(self, t: float, stored_bytes: int) -> None:
+        self.footprint.append((float(t), int(stored_bytes)))
+
+    def on_slots(self, t: float, busy: int) -> None:
+        """Slot occupancy changed at time ``t`` (integrate the old level)."""
+        self._busy_integral += self._busy * (t - self._last_t)
+        self._busy = busy
+        self._last_t = t
+
+    # ------------------------------------------------------------------ #
+    def utilization(self, now: float) -> float:
+        """Mean fraction of instance slots occupied over [0, now]."""
+        if now <= 0 or self.total_slots == 0:
+            return 0.0
+        integral = self._busy_integral + self._busy * (now - self._last_t)
+        return integral / (now * self.total_slots)
+
+    def summary(self, now: float) -> dict:
+        booted = self.boot.count
+        peak = max((v for _, v in self.footprint), default=0)
+        final = self.footprint[-1][1] if self.footprint else 0
+        boots = sorted(self._boot_raw)
+        waits = sorted(self._wait_raw)
+        snaps = sorted(self._snap_raw)
+        return {
+            "requests": {
+                "deploys": self.deploys,
+                "rejected": self.rejected,
+                "canceled": self.canceled,
+                "booted": booted,
+                "completed": self.completed,
+                "snapshots_taken": self.snapshots_taken,
+                "snapshots_missed": self.snapshots_missed,
+                "lineages_retired": self.lineages_retired,
+            },
+            "boot_latency": {
+                **_percentiles(self.boot),
+                "mean": sum(boots) / booted if booted else 0.0,
+                "p50_exact": _exact(boots, 0.50),
+                "p99_exact": _exact(boots, 0.99),
+            },
+            "queue_wait": {
+                **_percentiles(self.queue_wait),
+                "mean": sum(waits) / booted if booted else 0.0,
+                "p50_exact": _exact(waits, 0.50),
+                "p99_exact": _exact(waits, 0.99),
+            },
+            "snapshot_latency": {
+                **_percentiles(self.snapshot),
+                "p50_exact": _exact(snaps, 0.50),
+                "p99_exact": _exact(snaps, 0.99),
+            },
+            "rejection_rate": self.rejected / self.deploys if self.deploys else 0.0,
+            "utilization": self.utilization(now),
+            "gc": {
+                "sweeps": self.gc_sweeps,
+                "bytes_reclaimed": self.bytes_reclaimed,
+                "footprint_samples": len(self.footprint),
+                "footprint_peak": peak,
+                "footprint_final": final,
+            },
+            "makespan": now,
+        }

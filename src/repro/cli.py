@@ -7,6 +7,7 @@ Subcommands::
     python -m repro sweep     --figure fig4 --profile quick --jobs 4
     python -m repro faults    --instances 8 --replication 2 --crashes 2
     python -m repro p2p       --instances 32 --directory announce
+    python -m repro churn     --deploys 200 --policy locality --p2p
     python -m repro trace     --figure fig4 -n 8
     python -m repro bonnie
     python -m repro info
@@ -17,7 +18,9 @@ runs a whole figure's measurement sweep through the parallel
 :mod:`repro.runner` engine (multi-core fan-out plus the persistent result
 cache); ``faults`` replays a multideployment while a deterministic fault
 plan crashes storage nodes (chunk replication + client failover keep it
-alive); ``trace`` replays one figure's scenario with the causal tracer
+alive); ``churn`` runs a long-horizon multi-tenant arrival/teardown stream
+through the placement engine and prints steady-state SLOs; ``trace``
+replays one figure's scenario with the causal tracer
 enabled and writes a Chrome/Perfetto ``trace_event`` JSON plus the
 critical-path breakdown; ``bonnie`` runs the §5.4 micro-benchmark; ``info``
 dumps the active calibration.
@@ -312,6 +315,68 @@ def cmd_p2p(args) -> int:
     return 0
 
 
+def cmd_churn(args) -> int:
+    from .runner import PointSpec, execute_point, resolve_profile
+
+    profile = resolve_profile(args.profile)
+    n = args.deploys if args.deploys > 0 else profile.instance_counts[0]
+    params = [
+        ("policy", args.policy),
+        ("arrivals", args.arrivals),
+        ("rate", args.rate),
+        ("tenants", args.tenants),
+        ("mean_lifetime", args.mean_lifetime),
+        ("gc_interval", args.gc_interval),
+    ]
+    if args.p2p:
+        params.append(("p2p", True))
+        if args.cache_mib > 0:
+            params.append(("cache_mib", args.cache_mib))
+    spec = PointSpec(
+        kind="churn", profile=profile.name, approach=args.policy,
+        n=n, seed=args.seed, params=tuple(params),
+    )
+    res = execute_point(spec)
+    m = res.metrics
+
+    print(f"policy:           {args.policy}  (arrivals={args.arrivals}, "
+          f"rate={args.rate}/s, tenants={args.tenants}, p2p={args.p2p})")
+    print(f"requests:         {m['n_requests']:.0f} total, {n} deploys "
+          f"({m['booted']:.0f} booted, {m['rejected']:.0f} rejected, "
+          f"{m['canceled']:.0f} canceled while queued)")
+    print(f"boot latency:     p50 {fmt_time(m['boot_p50_exact'])}  "
+          f"p99 {fmt_time(m['boot_p99_exact'])}  mean {fmt_time(m['boot_mean'])}")
+    print(f"queue wait:       p99 {fmt_time(m['queue_wait_p99_exact'])}  "
+          f"mean {fmt_time(m['queue_wait_mean'])}")
+    print(f"snapshots:        {m['snapshots_taken']:.0f} taken "
+          f"({m['snapshots_missed']:.0f} missed), commit p99 "
+          f"{fmt_time(m['snapshot_p99_exact'])}")
+    print(f"rejection rate:   {m['rejection_rate']:.1%}")
+    print(f"utilization:      {m['utilization']:.1%}")
+    print(f"storage:          peak {fmt_size(m['footprint_peak'])}, final "
+          f"{fmt_size(m['footprint_final'])}, reclaimed "
+          f"{fmt_size(m['bytes_reclaimed'])} over {m['gc_sweeps']:.0f} GC sweeps")
+    print(f"makespan:         {fmt_time(m['makespan'])}")
+
+    if args.smoke:
+        # self-check: the run made progress, GC reclaimed retired state, and
+        # a second execution of the same spec is bit-identical
+        res2 = execute_point(spec)
+        identical = (
+            res.metrics == res2.metrics
+            and res.series == res2.series
+            and res.event_count == res2.event_count
+        )
+        progressed = m["booted"] > 0 and m["completed"] > 0
+        reclaimed = args.gc_interval <= 0 or m["bytes_reclaimed"] > 0
+        print(f"smoke: deterministic={identical} progressed={progressed} "
+              f"gc-reclaimed={reclaimed}")
+        if not (identical and progressed and reclaimed):
+            print("error: churn smoke check failed", file=sys.stderr)
+            return 1
+    return 0
+
+
 def cmd_bonnie(args) -> int:
     from .blobseer import BlobSeerDeployment
     from .common.payload import Payload
@@ -570,6 +635,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_p2p.add_argument("--smoke", action="store_true",
                        help="self-check: peer hits > 0, off-path determinism")
     p_p2p.set_defaults(func=cmd_p2p)
+
+    p_churn = sub.add_parser(
+        "churn", help="long-horizon multi-tenant churn run with steady-state SLOs"
+    )
+    p_churn.add_argument("--deploys", type=int, default=0,
+                         help="deploy requests (0 = the profile's first count)")
+    p_churn.add_argument("--profile", default="churn-smoke",
+                         help="benchmark profile (churn, churn-smoke, ...)")
+    p_churn.add_argument("--policy",
+                         choices=["first-fit", "least-loaded", "locality"],
+                         default="least-loaded", help="placement policy")
+    p_churn.add_argument("--arrivals",
+                         choices=["poisson", "diurnal", "bursty"],
+                         default="poisson", help="arrival process")
+    p_churn.add_argument("--rate", type=float, default=2.0,
+                         help="mean arrival rate, deploys/second")
+    p_churn.add_argument("--tenants", type=int, default=4,
+                         help="tenants sharing the pool (one base image each)")
+    p_churn.add_argument("--mean-lifetime", type=float, default=40.0,
+                         help="mean VM lifetime in seconds")
+    p_churn.add_argument("--gc-interval", type=float, default=60.0,
+                         help="seconds between GC sweeps (0 disables GC)")
+    p_churn.add_argument("--p2p", action="store_true",
+                         help="enable the cooperative peer chunk exchange")
+    p_churn.add_argument("--cache-mib", type=int, default=0,
+                         help="per-node peer cache in MiB (0 = default 64)")
+    p_churn.add_argument("--seed", type=int, default=1, help="experiment seed")
+    p_churn.add_argument("--smoke", action="store_true",
+                         help="self-check: progress, GC reclaim, determinism")
+    p_churn.set_defaults(func=cmd_churn)
 
     p_bonnie = sub.add_parser("bonnie", help="run the §5.4 micro-benchmark")
     p_bonnie.add_argument("--image-mib", type=int, default=1024)

@@ -13,6 +13,8 @@ from .cache import CODE_VERSION, ResultCache, default_cache_dir, point_key
 from .engine import SweepError, SweepRunner, SweepStats
 from .points import apply_diffs, build_point_cloud, execute_point, known_kinds
 from .profiles import (
+    CHURN,
+    CHURN_SMOKE,
     P2P,
     PAPER,
     QUICK,
@@ -30,6 +32,8 @@ from .spec import POINT_KINDS, PointResult, PointSpec
 
 __all__ = [
     "BenchProfile",
+    "CHURN",
+    "CHURN_SMOKE",
     "CODE_VERSION",
     "P2P",
     "PAPER",

@@ -272,6 +272,88 @@ def _run_p2p(spec: PointSpec, profile: BenchProfile, calib):
     return cloud, metrics, series
 
 
+@point_kind("churn")
+def _run_churn(spec: PointSpec, profile: BenchProfile, calib):
+    """One long-horizon churn run; ``spec.n`` counts *deploy requests*.
+
+    Params mirror :class:`~repro.churn.arrivals.ChurnSpec`: ``policy``
+    (``first-fit`` | ``least-loaded`` | ``locality``), ``arrivals``
+    (``poisson`` | ``diurnal`` | ``bursty``), ``rate``, ``tenants``,
+    ``mean_lifetime``, ``min_lifetime``, ``snapshot_fraction``,
+    ``slots_per_node``, ``max_queue``, ``gc_interval`` (0 disables the
+    periodic sweep — the storage-growth ablation), ``sample_interval``,
+    ``retention``, ``retain_snapshots``, ``diff_kib``; plus the p2p overlay
+    knobs of the ``p2p`` kind (``p2p``, ``directory``, ``cache_mib``,
+    ``locate_fanout``) since locality-aware placement reads the peer
+    caches. ``approach`` is ignored (churn always runs the mirror path).
+    """
+    from ..churn import ChurnEngine, ChurnSpec
+    from ..common.units import KiB, MiB
+
+    cloud_kw = {"with_pvfs": False}
+    if bool(spec.param("p2p", False)):
+        cloud_kw.update(
+            p2p=True,
+            p2p_directory=spec.param("directory", "announce"),
+            p2p_locate_fanout=int(spec.param("locate_fanout", 2)),
+        )
+        cache_mib = spec.param("cache_mib")
+        if cache_mib is not None:
+            cloud_kw["p2p_cache_bytes"] = int(cache_mib) * MiB
+    cloud, image = build_point_cloud(profile, spec.seed, calib=calib, **cloud_kw)
+    churn_spec = ChurnSpec(
+        n_deploys=spec.n,
+        arrivals=spec.param("arrivals", "poisson"),
+        rate=float(spec.param("rate", 2.0)),
+        n_tenants=int(spec.param("tenants", 4)),
+        mean_lifetime=float(spec.param("mean_lifetime", 40.0)),
+        min_lifetime=float(spec.param("min_lifetime", 8.0)),
+        snapshot_fraction=float(spec.param("snapshot_fraction", 0.5)),
+        diff_bytes=int(spec.param("diff_kib", profile.diff_bytes // KiB)) * KiB,
+        policy=spec.param("policy", "first-fit"),
+        slots_per_node=int(spec.param("slots_per_node", 2)),
+        max_queue=int(spec.param("max_queue", 16)),
+        gc_interval=float(spec.param("gc_interval", 60.0)),
+        sample_interval=float(spec.param("sample_interval", 25.0)),
+        retention_per_vm=int(spec.param("retention", 1)),
+        retain_snapshots=bool(spec.param("retain_snapshots", False)),
+    )
+    res = ChurnEngine(cloud, image, churn_spec).run()
+    s = res.summary
+    metrics = {
+        "boot_p50": s["boot_latency"]["p50"],
+        "boot_p95": s["boot_latency"]["p95"],
+        "boot_p99": s["boot_latency"]["p99"],
+        "boot_p50_exact": s["boot_latency"]["p50_exact"],
+        "boot_p99_exact": s["boot_latency"]["p99_exact"],
+        "boot_mean": s["boot_latency"]["mean"],
+        "queue_wait_p99_exact": s["queue_wait"]["p99_exact"],
+        "queue_wait_mean": s["queue_wait"]["mean"],
+        "snapshot_p99_exact": s["snapshot_latency"]["p99_exact"],
+        "rejection_rate": s["rejection_rate"],
+        "utilization": s["utilization"],
+        "booted": float(s["requests"]["booted"]),
+        "completed": float(s["requests"]["completed"]),
+        "rejected": float(s["requests"]["rejected"]),
+        "canceled": float(s["requests"]["canceled"]),
+        "snapshots_taken": float(s["requests"]["snapshots_taken"]),
+        "snapshots_missed": float(s["requests"]["snapshots_missed"]),
+        "gc_sweeps": float(s["gc"]["sweeps"]),
+        "bytes_reclaimed": float(s["gc"]["bytes_reclaimed"]),
+        "footprint_peak": float(s["gc"]["footprint_peak"]),
+        "footprint_final": float(s["gc"]["footprint_final"]),
+        "makespan": s["makespan"],
+        "n_requests": float(res.n_requests),
+        "trace_crc": float(res.trace_crc),
+    }
+    series = {
+        "placements": tuple(res.placements),
+        "footprint_t": tuple(t for t, _ in res.footprint),
+        "footprint_bytes": tuple(v for _, v in res.footprint),
+    }
+    return cloud, metrics, series
+
+
 def _mc_config(profile: BenchProfile, calib, image):
     from ..vmsim import MonteCarloConfig
 

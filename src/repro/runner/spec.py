@@ -17,7 +17,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 #: kinds of points the executor registry knows how to run
-POINT_KINDS = ("deploy", "snapshot", "bonnie", "montecarlo", "resilience", "p2p")
+POINT_KINDS = (
+    "deploy", "snapshot", "bonnie", "montecarlo", "resilience", "p2p", "churn",
+)
 
 
 def _freeze(pairs: Any) -> tuple:

@@ -159,6 +159,36 @@ class TestSweep:
         assert "(0 simulated, 1 from cache)" in second
 
 
+class TestChurn:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["churn"])
+        assert args.policy == "least-loaded"
+        assert args.arrivals == "poisson"
+        assert args.profile == "churn-smoke"
+        assert args.smoke is False
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["churn", "--policy", "tetris"])
+
+    def test_churn_prints_slos(self, capsys):
+        rc = main(["churn", "--deploys", "10", "--rate", "3", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "boot latency:" in out
+        assert "rejection rate:" in out
+        assert "GC sweeps" in out
+
+    def test_churn_smoke_passes(self, capsys):
+        rc = main(["churn", "--deploys", "10", "--rate", "3", "--p2p",
+                   "--gc-interval", "20", "--smoke"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "smoke: deterministic=True" in out
+        assert "progressed=True" in out
+        assert "gc-reclaimed=True" in out
+
+
 class TestP2P:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["p2p"])

@@ -64,6 +64,38 @@ class TestExperimentsDoc:
         assert "Deviations" in text
 
 
+class TestChurnDocs:
+    def test_design_doc_covers_churn_modules(self):
+        text = (REPO / "DESIGN.md").read_text()
+        assert "repro.churn" in text
+        for mod in ("arrivals.py", "scheduler.py", "lifecycle.py",
+                    "slo.py", "engine.py"):
+            assert (REPO / "src" / "repro" / "churn" / mod).exists(), mod
+            assert mod in text, f"DESIGN.md module map missing churn {mod}"
+
+    def test_experiments_doc_covers_churn(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        assert "churn" in text
+        assert "BENCH_churn.json" in text
+
+    def test_readme_quickstart_covers_churn(self):
+        text = (REPO / "README.md").read_text()
+        assert "python -m repro churn" in text
+        assert "make churn-smoke" in text
+
+    def test_tracked_churn_numbers_exist(self):
+        import json
+        data = json.loads((REPO / "BENCH_churn.json").read_text())
+        current = data["current"]
+        assert set(current["policy"]) == {"first-fit", "least-loaded", "locality"}
+        assert set(current["gc"]) == {"gc", "nogc"}
+
+    def test_makefile_and_ci_wire_churn_smoke(self):
+        assert "churn-smoke:" in (REPO / "Makefile").read_text()
+        assert "churn-smoke" in (
+            REPO / ".github" / "workflows" / "ci.yml").read_text()
+
+
 class TestBenchmarkCoverage:
     def test_one_bench_file_per_figure(self):
         bench_dir = REPO / "benchmarks"
