@@ -23,7 +23,7 @@ from .metadata import (
 from .pmanager import PlacementPolicy
 from .service import BlobSeerDeployment
 from .store import ChunkStore, KeyMinter
-from .vmanager import BlobRegistry, SnapshotRecord
+from .vmanager import BlobRegistry, LineageEntry, SnapshotRecord
 
 __all__ = [
     "BlobClient",
@@ -35,6 +35,7 @@ __all__ = [
     "collect_garbage",
     "KeyMinter",
     "LATEST",
+    "LineageEntry",
     "MetadataStore",
     "PlacementPolicy",
     "SnapshotRecord",

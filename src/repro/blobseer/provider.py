@@ -274,6 +274,42 @@ class VersionManagerService:
         self.registry.delete_blob(blob_id)
         return None
 
+    # ------------------------------------------------------------------ #
+    # lineage control plane (:mod:`repro.lineage`)
+    # ------------------------------------------------------------------ #
+    def rpc_lineage_entry(self, caller: Host, blob_id: int, version: int):
+        """Fetch one snapshot's permanent lineage record.
+
+        This is the per-hop cost of an ancestry walk (restore-to-version
+        opens a chain one record at a time, like a qcow2 chain open): a
+        read-only registry lookup, unserialized, same price as ``lookup``.
+        """
+        yield self.host.env.timeout(self.model.publish_overhead / 4)
+        return self.registry.lineage_entry(blob_id, version)
+
+    def rpc_clone_lineage(self, caller: Host, blob_id: int, version: int):
+        """CLONE from the lineage log (source may be retired); serialized."""
+        yield from self._serialized(self.model.publish_overhead)
+        return self.registry.clone_from_lineage(blob_id, version)
+
+    def rpc_pin_version(self, caller: Host, blob_id: int, version: int):
+        """Take a restore/compaction lease on a snapshot (cheap lookup cost)."""
+        yield self.host.env.timeout(self.model.publish_overhead / 4)
+        self.registry.pin_version(blob_id, version)
+        return None
+
+    def rpc_unpin_version(self, caller: Host, blob_id: int, version: int):
+        """Drop a lease; any delete deferred behind it completes now."""
+        yield self.host.env.timeout(self.model.publish_overhead / 4)
+        self.registry.unpin_version(blob_id, version)
+        return None
+
+    def rpc_set_skip(self, caller: Host, blob_id: int, version: int, skip):
+        """Write a flattening skip pointer (a metadata write; serialized)."""
+        yield from self._serialized(self.model.publish_overhead)
+        self.registry.set_skip(blob_id, version, skip)
+        return None
+
     def rpc_dedup_query(self, caller: Host, chunks, index):
         """Look up content fingerprints in the dedup index.
 

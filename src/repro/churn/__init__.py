@@ -11,7 +11,7 @@ snapshot retirement and periodic garbage collection
 """
 
 from .arrivals import (
-    ARRIVAL_KINDS, ChurnSpec, DeployRequest, SnapshotRequest,
+    ARRIVAL_KINDS, ChurnSpec, DeployRequest, RestoreRequest, SnapshotRequest,
     TeardownRequest, generate_trace, trace_crc,
 )
 from .engine import ChurnEngine, ChurnResult
@@ -27,6 +27,7 @@ __all__ = [
     "ChurnSpec",
     "DeployRequest",
     "LocalityMap",
+    "RestoreRequest",
     "Scheduler",
     "SloTracker",
     "SnapshotRequest",

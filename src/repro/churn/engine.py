@@ -24,9 +24,10 @@ from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..blobseer.gc import collect_garbage
 from ..blobseer.metadata import reachable_nodes
-from ..common.errors import SimulationError
+from ..common.errors import LineageError, SimulationError
+from ..simkit import rpc
 from .arrivals import (
-    ChurnSpec, DeployRequest, SnapshotRequest, TeardownRequest,
+    ChurnSpec, DeployRequest, RestoreRequest, SnapshotRequest, TeardownRequest,
     generate_trace, trace_crc,
 )
 from .lifecycle import VmRuntime, run_instance
@@ -65,6 +66,7 @@ class ChurnEngine:
         self.trace = generate_trace(spec, cloud.fabric.rng.get("churn-arrivals"))
         self.runtimes: Dict[int, VmRuntime] = {}
         self.placements: Dict[int, int] = {}
+        self._restore_procs: list = []
 
         # one base-image blob per tenant (distinct chunk keys even for the
         # same bytes, so per-tenant locality is a real signal)
@@ -152,12 +154,14 @@ class ChurnEngine:
                 self._deliver(req)
 
             # drain: wait for every live instance (releases spawn queued
-            # deploys, so re-collect until nothing is alive)
+            # deploys, so re-collect until nothing is alive) and every
+            # in-flight restore
             while True:
                 alive = [
                     rt.proc for rt in self.runtimes.values()
                     if rt.proc is not None and rt.proc.is_alive
                 ]
+                alive += [p for p in self._restore_procs if p.is_alive]
                 if not alive:
                     break
                 yield env.all_of(alive)
@@ -199,6 +203,22 @@ class ChurnEngine:
                 self.slo.on_cancel()
                 self.placements[req.target] = -2
             # else: the deploy was rejected at admission; nothing to do
+        elif isinstance(req, RestoreRequest):
+            rt = self.runtimes.get(req.target)
+            target = None
+            if rt is not None:
+                if rt.published:
+                    target = rt.published[-1]
+                elif rt.retired:
+                    # restorable until the next GC sweep reclaims the chunks
+                    target = rt.retired[-1]
+            if target is None:
+                self.slo.on_restore_missed()
+            else:
+                self._restore_procs.append(self.cloud.env.process(
+                    self._restore(req, target[0], target[1]),
+                    name=f"churn-restore-{req.req_id}",
+                ))
         else:  # pragma: no cover
             raise SimulationError(f"unknown churn request {req!r}")
 
@@ -217,6 +237,52 @@ class ChurnEngine:
         for req, node in self.scheduler.release(rt.node):
             self._spawn(req, node)
         self.slo.on_slots(self.cloud.env.now, self.scheduler.busy_slots)
+
+    # ------------------------------------------------------------------ #
+    def _restore(self, req: RestoreRequest, blob_id: int, version: int):
+        """Restore-to-version lifecycle: restore, boot, verify, tear down.
+
+        Runs on the node the original deploy was placed on (its peer cache
+        is the likeliest to still hold the chunks). A target whose chunks a
+        GC sweep already reclaimed raises
+        :class:`~repro.common.errors.LineageError` — counted as a missed
+        restore, exactly the staleness SLO the retention policy trades
+        against.
+        """
+        from ..lineage.restore import restore_to_version
+        from ..vmsim.boottrace import boot_trace
+
+        cloud = self.cloud
+        node_idx = self.placements.get(req.target, -1)
+        if node_idx < 0:
+            node_idx = req.req_id % len(cloud.compute)
+        host = cloud.compute[node_idx]
+        try:
+            res = yield from restore_to_version(
+                cloud.blobseer, host, blob_id, version,
+                image=self.image, boot_model=cloud.calib.boot,
+                vm_rng=cloud.fabric.rng.get("churn-restore-vm", req.req_id),
+                trace=boot_trace(
+                    self.image, cloud.calib.boot,
+                    cloud.fabric.rng.get("churn-restore-trace", req.req_id),
+                ),
+                fuse=cloud.calib.fuse,
+                path=f"/mirror/churn-restore-{req.req_id}",
+            )
+        except LineageError:
+            self.slo.on_restore_missed()
+            return
+        self.slo.on_restore(
+            res.restore_time, res.scan_hops, res.retired_source
+        )
+        # the restored instance is ephemeral: shut down, drop the local
+        # mirror file, unpublish the restored branch
+        yield from res.vm.shutdown()
+        res.backend.handle.local.unlink()
+        yield from rpc.call(
+            host, cloud.blobseer.vmanager_host, "blob-vmgr", "delete_blob",
+            res.blob_id,
+        )
 
     # ------------------------------------------------------------------ #
     def _sample_footprint(self) -> None:

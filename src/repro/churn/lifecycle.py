@@ -34,7 +34,7 @@ class VmRuntime:
 
     __slots__ = (
         "req", "node", "state", "snap_pending", "teardown_flag",
-        "proc", "published", "_wake",
+        "proc", "published", "retired", "_wake",
     )
 
     def __init__(self, req: DeployRequest, node: int):
@@ -46,6 +46,9 @@ class VmRuntime:
         self.proc = None
         #: (blob_id, version) of every still-published mid-life snapshot
         self.published: List[Tuple[int, int]] = []
+        #: snapshots unpublished at teardown — restore targets until the
+        #: next GC sweep reclaims their chunks (see RestoreRequest)
+        self.retired: List[Tuple[int, int]] = []
         self._wake = None
 
     # -- dispatcher side ------------------------------------------------ #
@@ -163,6 +166,7 @@ def _teardown(engine: "ChurnEngine", rt: VmRuntime, vm: VMInstance):
         yield from rpc.call(
             vm.host, dep.vmanager_host, "blob-vmgr", "delete_blob", clone_blob
         )
+        rt.retired.extend(rt.published)
         rt.published.clear()
         engine.slo.on_retire()
     engine.slo.on_complete()

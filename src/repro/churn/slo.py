@@ -56,6 +56,12 @@ class SloTracker:
         self.snapshots_taken = 0
         self.snapshots_missed = 0  # target already gone (or never admitted)
         self.lineages_retired = 0  # clone blobs unpublished at teardown
+        # restore-to-version accounting (repro.lineage wired into churn)
+        self.restore = Histogram()
+        self.restores_completed = 0
+        self.restores_missed = 0   # no surviving snapshot, or already GC'd
+        self.restores_from_retired = 0
+        self.restore_hops_total = 0
         # GC / storage hygiene
         self.gc_sweeps = 0
         self.bytes_reclaimed = 0
@@ -69,6 +75,7 @@ class SloTracker:
         self._boot_raw: List[float] = []
         self._wait_raw: List[float] = []
         self._snap_raw: List[float] = []
+        self._restore_raw: List[float] = []
 
     # ------------------------------------------------------------------ #
     def on_deploy(self) -> None:
@@ -100,6 +107,17 @@ class SloTracker:
     def on_retire(self) -> None:
         self.lineages_retired += 1
 
+    def on_restore(self, latency: float, hops: int, from_retired: bool) -> None:
+        self.restore.observe(latency)
+        self._restore_raw.append(latency)
+        self.restores_completed += 1
+        self.restore_hops_total += hops
+        if from_retired:
+            self.restores_from_retired += 1
+
+    def on_restore_missed(self) -> None:
+        self.restores_missed += 1
+
     def on_gc(self, report) -> None:
         self.gc_sweeps += 1
         self.bytes_reclaimed += report.bytes_reclaimed
@@ -128,6 +146,7 @@ class SloTracker:
         boots = sorted(self._boot_raw)
         waits = sorted(self._wait_raw)
         snaps = sorted(self._snap_raw)
+        restores = sorted(self._restore_raw)
         return {
             "requests": {
                 "deploys": self.deploys,
@@ -138,6 +157,9 @@ class SloTracker:
                 "snapshots_taken": self.snapshots_taken,
                 "snapshots_missed": self.snapshots_missed,
                 "lineages_retired": self.lineages_retired,
+                "restores_completed": self.restores_completed,
+                "restores_missed": self.restores_missed,
+                "restores_from_retired": self.restores_from_retired,
             },
             "boot_latency": {
                 **_percentiles(self.boot),
@@ -155,6 +177,15 @@ class SloTracker:
                 **_percentiles(self.snapshot),
                 "p50_exact": _exact(snaps, 0.50),
                 "p99_exact": _exact(snaps, 0.99),
+            },
+            "restore_latency": {
+                **_percentiles(self.restore),
+                "p50_exact": _exact(restores, 0.50),
+                "p99_exact": _exact(restores, 0.99),
+                "mean_hops": (
+                    self.restore_hops_total / self.restores_completed
+                    if self.restores_completed else 0.0
+                ),
             },
             "rejection_rate": self.rejected / self.deploys if self.deploys else 0.0,
             "utilization": self.utilization(now),

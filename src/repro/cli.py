@@ -8,9 +8,11 @@ Subcommands::
     python -m repro faults    --instances 8 --replication 2 --crashes 2
     python -m repro p2p       --instances 32 --directory announce
     python -m repro churn     --deploys 200 --policy locality --p2p
+    python -m repro lineage   --depth 8 --compact --policy flatten
     python -m repro trace     --figure fig4 -n 8
     python -m repro bonnie
     python -m repro info
+    python -m repro --version
 
 ``deploy`` and ``snapshot`` build a fresh simulated cluster, run the chosen
 pattern at the requested scale, and print the paper's metrics; ``sweep``
@@ -19,7 +21,9 @@ runs a whole figure's measurement sweep through the parallel
 cache); ``faults`` replays a multideployment while a deterministic fault
 plan crashes storage nodes (chunk replication + client failover keep it
 alive); ``churn`` runs a long-horizon multi-tenant arrival/teardown stream
-through the placement engine and prints steady-state SLOs; ``trace``
+through the placement engine and prints steady-state SLOs; ``lineage``
+builds a deep snapshot chain, optionally compacts it, and restores a VM
+from the chain head with exact dedup accounting; ``trace``
 replays one figure's scenario with the causal tracer
 enabled and writes a Chrome/Perfetto ``trace_event`` JSON plus the
 critical-path breakdown; ``bonnie`` runs the §5.4 micro-benchmark; ``info``
@@ -328,6 +332,10 @@ def cmd_churn(args) -> int:
         ("mean_lifetime", args.mean_lifetime),
         ("gc_interval", args.gc_interval),
     ]
+    if args.restore_fraction > 0.0:
+        params.append(("restore_fraction", args.restore_fraction))
+        if args.retain_snapshots:
+            params.append(("retain_snapshots", True))
     if args.p2p:
         params.append(("p2p", True))
         if args.cache_mib > 0:
@@ -351,6 +359,12 @@ def cmd_churn(args) -> int:
     print(f"snapshots:        {m['snapshots_taken']:.0f} taken "
           f"({m['snapshots_missed']:.0f} missed), commit p99 "
           f"{fmt_time(m['snapshot_p99_exact'])}")
+    if args.restore_fraction > 0.0:
+        print(f"restores:         {m['restores_completed']:.0f} completed "
+              f"({m['restores_missed']:.0f} missed, "
+              f"{m['restores_from_retired']:.0f} from retired chains), p99 "
+              f"{fmt_time(m['restore_p99_exact'])}, mean "
+              f"{m['restore_mean_hops']:.1f} hops")
     print(f"rejection rate:   {m['rejection_rate']:.1%}")
     print(f"utilization:      {m['utilization']:.1%}")
     print(f"storage:          peak {fmt_size(m['footprint_peak'])}, final "
@@ -373,6 +387,66 @@ def cmd_churn(args) -> int:
               f"gc-reclaimed={reclaimed}")
         if not (identical and progressed and reclaimed):
             print("error: churn smoke check failed", file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_lineage(args) -> int:
+    from .runner import PointSpec, execute_point, resolve_profile
+
+    profile = resolve_profile(args.profile)
+    depth = args.depth if args.depth > 0 else profile.instance_counts[-1]
+    params = []
+    if args.compact:
+        params += [
+            ("compact", True),
+            ("policy", args.policy),
+            ("depth_bound", args.depth_bound),
+        ]
+    if args.replication > 1:
+        params.append(("replication", args.replication))
+    spec = PointSpec(
+        kind="lineage", profile=profile.name, approach="mirror",
+        n=depth, seed=args.seed, params=tuple(params),
+    )
+    res = execute_point(spec)
+    m = res.metrics
+
+    mode = (f"compact={args.policy}/{args.depth_bound}" if args.compact
+            else "uncompacted")
+    print(f"chain:            depth {depth} ({mode}), "
+          f"{m['forest_snapshots']:.0f} snapshots in the forest")
+    print(f"restore scan:     {m['scan_hops']:.0f} hops, "
+          f"{fmt_time(m['scan_time'])}")
+    print(f"restore latency:  {fmt_time(m['restore_time'])} "
+          f"(clone {fmt_time(m['clone_time'])}, open {fmt_time(m['open_time'])})")
+    print(f"restored boot:    {fmt_time(m['boot_time'])}")
+    print(f"dedup accounting: exclusive {fmt_size(m['dedup_exclusive'])}, shared "
+          f"{fmt_size(m['dedup_shared'])} ({m['sharing_ratio']:.1%} of "
+          f"{fmt_size(m['dedup_live'])} live)")
+    print(f"conservation:     exclusive+shared==live: "
+          f"{'ok' if m['conserved'] else 'VIOLATED'}; live==stored: "
+          f"{'ok' if m['footprint_matches'] else 'VIOLATED'}")
+    if args.compact:
+        print(f"compaction:       {m['skips_written']:.0f} skips written, "
+              f"{m['versions_merged']:.0f} versions merged, "
+              f"{fmt_time(m['compact_duration'])}")
+
+    if args.smoke:
+        # self-check: accounting conserves, the restore really walked the
+        # chain, and a second execution of the same spec is bit-identical
+        res2 = execute_point(spec)
+        identical = (
+            res.metrics == res2.metrics
+            and res.series == res2.series
+            and res.event_count == res2.event_count
+        )
+        conserved = bool(m["conserved"]) and bool(m["footprint_matches"])
+        walked = m["scan_hops"] >= (1 if args.compact else depth)
+        print(f"smoke: deterministic={identical} conserved={conserved} "
+              f"chain-walked={walked}")
+        if not (identical and conserved and walked):
+            print("error: lineage smoke check failed", file=sys.stderr)
             return 1
     return 0
 
@@ -503,9 +577,23 @@ def cmd_info(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Going Back and Forth' (HPDC 2011)",
+        epilog=(
+            "subcommands: deploy (one multideployment), snapshot "
+            "(multisnapshotting), sweep (figure sweeps via the parallel "
+            "runner), faults (deployment under injected crashes), p2p "
+            "(cooperative chunk exchange), churn (long-horizon multi-tenant "
+            "SLOs), lineage (snapshot chains, compaction, restore-to-"
+            "version), trace (Perfetto causal traces), bonnie (the §5.4 "
+            "micro-benchmark), info (active calibration)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -661,10 +749,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable the cooperative peer chunk exchange")
     p_churn.add_argument("--cache-mib", type=int, default=0,
                          help="per-node peer cache in MiB (0 = default 64)")
+    p_churn.add_argument("--restore-fraction", type=float, default=0.0,
+                         help="fraction of deploys that schedule a "
+                              "post-teardown restore-to-version (0 = off)")
+    p_churn.add_argument("--retain-snapshots", action="store_true",
+                         help="pin snapshot chains past teardown so restores "
+                              "never hit a retired chain")
     p_churn.add_argument("--seed", type=int, default=1, help="experiment seed")
     p_churn.add_argument("--smoke", action="store_true",
                          help="self-check: progress, GC reclaim, determinism")
     p_churn.set_defaults(func=cmd_churn)
+
+    p_lineage = sub.add_parser(
+        "lineage",
+        help="snapshot chain + compaction + restore-to-version with dedup "
+             "accounting",
+    )
+    p_lineage.add_argument("--depth", type=int, default=0,
+                           help="chain depth / COMMITs (0 = the profile's "
+                                "deepest sweep point)")
+    p_lineage.add_argument("--profile", default="lineage",
+                           help="benchmark profile (lineage, lineage-smoke, ...)")
+    p_lineage.add_argument("--compact", action="store_true",
+                           help="compact the chain before restoring")
+    p_lineage.add_argument("--policy", choices=["flatten", "merge"],
+                           default="flatten", help="compaction policy")
+    p_lineage.add_argument("--depth-bound", type=int, default=4,
+                           help="compacted-walk bound (anchor spacing)")
+    p_lineage.add_argument("--replication", type=int, default=1,
+                           help="replicas per chunk (dedup counts physical "
+                                "bytes per replica)")
+    p_lineage.add_argument("--seed", type=int, default=1, help="experiment seed")
+    p_lineage.add_argument("--smoke", action="store_true",
+                           help="self-check: conservation, chain walk, "
+                                "determinism")
+    p_lineage.set_defaults(func=cmd_lineage)
 
     p_bonnie = sub.add_parser("bonnie", help="run the §5.4 micro-benchmark")
     p_bonnie.add_argument("--image-mib", type=int, default=1024)

@@ -43,6 +43,14 @@ class ChunkNotFoundError(StorageError):
     """A data provider was asked for a chunk key it does not hold."""
 
 
+class LineageError(StorageError):
+    """Invalid snapshot-lineage operation (restore, pinning, compaction).
+
+    Raised e.g. when restoring a retired version whose chunks were already
+    garbage-collected, or when a compaction skip pointer is malformed.
+    """
+
+
 class ProviderUnavailableError(StorageError):
     """The targeted data provider is offline (failure-injection runs)."""
 

@@ -15,6 +15,8 @@ from .points import apply_diffs, build_point_cloud, execute_point, known_kinds
 from .profiles import (
     CHURN,
     CHURN_SMOKE,
+    LINEAGE,
+    LINEAGE_SMOKE,
     P2P,
     PAPER,
     QUICK,
@@ -35,6 +37,8 @@ __all__ = [
     "CHURN",
     "CHURN_SMOKE",
     "CODE_VERSION",
+    "LINEAGE",
+    "LINEAGE_SMOKE",
     "P2P",
     "PAPER",
     "POINT_KINDS",

@@ -280,6 +280,7 @@ def _run_churn(spec: PointSpec, profile: BenchProfile, calib):
     (``first-fit`` | ``least-loaded`` | ``locality``), ``arrivals``
     (``poisson`` | ``diurnal`` | ``bursty``), ``rate``, ``tenants``,
     ``mean_lifetime``, ``min_lifetime``, ``snapshot_fraction``,
+    ``restore_fraction`` (post-teardown restore-to-version arrivals),
     ``slots_per_node``, ``max_queue``, ``gc_interval`` (0 disables the
     periodic sweep — the storage-growth ablation), ``sample_interval``,
     ``retention``, ``retain_snapshots``, ``diff_kib``; plus the p2p overlay
@@ -309,6 +310,7 @@ def _run_churn(spec: PointSpec, profile: BenchProfile, calib):
         mean_lifetime=float(spec.param("mean_lifetime", 40.0)),
         min_lifetime=float(spec.param("min_lifetime", 8.0)),
         snapshot_fraction=float(spec.param("snapshot_fraction", 0.5)),
+        restore_fraction=float(spec.param("restore_fraction", 0.0)),
         diff_bytes=int(spec.param("diff_kib", profile.diff_bytes // KiB)) * KiB,
         policy=spec.param("policy", "first-fit"),
         slots_per_node=int(spec.param("slots_per_node", 2)),
@@ -338,6 +340,11 @@ def _run_churn(spec: PointSpec, profile: BenchProfile, calib):
         "canceled": float(s["requests"]["canceled"]),
         "snapshots_taken": float(s["requests"]["snapshots_taken"]),
         "snapshots_missed": float(s["requests"]["snapshots_missed"]),
+        "restores_completed": float(s["requests"]["restores_completed"]),
+        "restores_missed": float(s["requests"]["restores_missed"]),
+        "restores_from_retired": float(s["requests"]["restores_from_retired"]),
+        "restore_p99_exact": s["restore_latency"]["p99_exact"],
+        "restore_mean_hops": s["restore_latency"]["mean_hops"],
         "gc_sweeps": float(s["gc"]["sweeps"]),
         "bytes_reclaimed": float(s["gc"]["bytes_reclaimed"]),
         "footprint_peak": float(s["gc"]["footprint_peak"]),
@@ -350,6 +357,120 @@ def _run_churn(spec: PointSpec, profile: BenchProfile, calib):
         "placements": tuple(res.placements),
         "footprint_t": tuple(t for t, _ in res.footprint),
         "footprint_bytes": tuple(v for _, v in res.footprint),
+    }
+    return cloud, metrics, series
+
+
+@point_kind("lineage")
+def _run_lineage(spec: PointSpec, profile: BenchProfile, calib):
+    """One snapshot-lineage point; ``spec.n`` is the *chain depth*.
+
+    A single mirror-backed VM commits ``n`` snapshots (CLONE once, then
+    COMMITs), building an ``n``-deep chain. The point then optionally
+    compacts the chain, runs a GC sweep, computes the exact dedup
+    accounting, and restores the chain head onto a different node — the
+    measured quantity is the restore *scan*, whose per-hop version-manager
+    round-trips are what compaction bounds.
+
+    Params: ``compact`` (run :func:`~repro.lineage.compact_chain`; default
+    False), ``policy`` (``flatten`` | ``merge``), ``depth_bound``,
+    ``replication`` (provider replica count), ``p2p`` (enable the peer
+    exchange on the restore fetch path).
+    """
+    from ..blobseer.gc import collect_garbage
+    from ..lineage import (
+        LineageForest, compact_chain, dedup_accounting, restore_to_version,
+    )
+    from ..vmsim import boot_trace
+
+    depth = spec.n
+    if depth < 1:
+        raise SimulationError(f"lineage: chain depth must be >= 1, got {depth}")
+    do_compact = bool(spec.param("compact", False))
+    policy = spec.param("policy", "flatten")
+    depth_bound = int(spec.param("depth_bound", 4))
+
+    cloud_kw = {"with_pvfs": False}
+    replication = int(spec.param("replication", 1))
+    if replication > 1:
+        cloud_kw["replication_factor"] = replication
+    if bool(spec.param("p2p", False)):
+        cloud_kw["p2p"] = True
+    cloud, image = build_point_cloud(profile, spec.seed, calib=calib, **cloud_kw)
+    dep = cloud.blobseer
+
+    res = deploy(cloud, image, 1, "mirror")
+    vm = res.vms[0]
+    durations = []
+
+    def step(i):
+        ops = read_your_writes_workload(
+            image.write_base, profile.diff_bytes,
+            cloud.fabric.rng.get("lineage-diff", i), reread_fraction=0.05,
+        )
+        yield from vm.run_ops(ops)
+        snap = yield from vm.backend.snapshot()
+        durations.append(snap.duration)
+
+    for i in range(depth):
+        cloud.run(cloud.env.process(step(i), name=f"lineage-step-{i}"))
+    handle = vm.backend.handle
+    head = (handle.target_blob, handle.target_version)
+
+    out = {}
+    if do_compact:
+        def run_compact():
+            out["compact"] = yield from compact_chain(
+                dep, vm.host, head[0], head[1],
+                policy=policy, depth_bound=depth_bound,
+            )
+        cloud.run(cloud.env.process(run_compact(), name="lineage-compact"))
+    gc_report = collect_garbage(dep)
+    report = dedup_accounting(dep)
+
+    node = cloud.compute[-1]
+    def run_restore():
+        out["restore"] = yield from restore_to_version(
+            dep, node, head[0], head[1],
+            image=image, boot_model=cloud.calib.boot,
+            vm_rng=cloud.fabric.rng.get("lineage-restore-vm", 0),
+            trace=boot_trace(
+                image, cloud.calib.boot,
+                cloud.fabric.rng.get("lineage-restore-trace", 0),
+            ),
+            fuse=cloud.calib.fuse,
+        )
+    cloud.run(cloud.env.process(run_restore(), name="lineage-restore"))
+
+    restore = out["restore"]
+    compact = out.get("compact")
+    forest = LineageForest.from_registry(dep.registry)
+    stats = forest.stats()
+    metrics = {
+        "chain_depth": float(depth),
+        "scan_hops": float(restore.scan_hops),
+        "scan_time": restore.scan_time,
+        "clone_time": restore.clone_time,
+        "open_time": restore.open_time,
+        "restore_time": restore.restore_time,
+        "boot_time": restore.boot_time,
+        "dedup_exclusive": float(report.total_exclusive),
+        "dedup_shared": float(report.total_shared),
+        "dedup_live": float(report.live_bytes),
+        "dedup_stored": float(report.stored_bytes),
+        "sharing_ratio": report.sharing_ratio(),
+        "conserved": 1.0 if report.conserves() else 0.0,
+        "footprint_matches": 1.0 if report.matches_footprint() else 0.0,
+        "gc_bytes_reclaimed": float(gc_report.bytes_reclaimed),
+        "forest_snapshots": float(stats["snapshots"]),
+        "forest_max_depth": float(stats["max_depth"]),
+        "skips_written": float(compact.skips_written if compact else 0),
+        "versions_merged": float(compact.versions_merged if compact else 0),
+        "compact_duration": compact.duration if compact else 0.0,
+    }
+    series = {
+        "snapshot_durations": tuple(durations),
+        "chain": tuple(f"b{b}v{v}" for b, v in restore.chain),
     }
     return cloud, metrics, series
 

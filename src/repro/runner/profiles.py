@@ -195,10 +195,51 @@ CHURN_SMOKE = BenchProfile(
     calib_overrides=SCALE.calib_overrides,
 )
 
+#: Snapshot-lineage runs (``benchmarks/bench_lineage.py``): one VM commits a
+#: chain of snapshots; for a lineage point ``n`` is the *chain depth* (COMMIT
+#: count), not an instance count. Small images and the concentrated NVMe
+#: repository keep deep chains fast to build — the measured quantity is the
+#: restore *scan*, whose cost is version-manager round-trips, not data I/O.
+LINEAGE = BenchProfile(
+    name="lineage",
+    pool_nodes=12,
+    instance_counts=(2, 4, 8, 16, 32),
+    image_size=32 * MiB,
+    chunk_size=256 * KiB,
+    touched_bytes=8 * MiB,
+    n_regions=16,
+    diff_bytes=1 * MiB,
+    mc_workers=4,
+    mc_total_compute=30.0,
+    bonnie_working_set=32 * MiB,
+    data_nodes=4,
+    meta_nodes=4,
+    calib_overrides=SCALE.calib_overrides,
+)
+
+#: Tiny sibling of ``lineage`` for CI smoke runs and the determinism tests.
+LINEAGE_SMOKE = BenchProfile(
+    name="lineage-smoke",
+    pool_nodes=8,
+    instance_counts=(2, 5),
+    image_size=8 * MiB,
+    chunk_size=256 * KiB,
+    touched_bytes=2 * MiB,
+    n_regions=8,
+    diff_bytes=256 * KiB,
+    mc_workers=4,
+    mc_total_compute=30.0,
+    bonnie_working_set=32 * MiB,
+    data_nodes=4,
+    meta_nodes=4,
+    calib_overrides=SCALE.calib_overrides,
+)
+
 _REGISTRY: Dict[str, BenchProfile] = {
     PAPER.name: PAPER, QUICK.name: QUICK, P2P.name: P2P,
     SCALE.name: SCALE, SCALE_SMOKE.name: SCALE_SMOKE,
     CHURN.name: CHURN, CHURN_SMOKE.name: CHURN_SMOKE,
+    LINEAGE.name: LINEAGE, LINEAGE_SMOKE.name: LINEAGE_SMOKE,
 }
 
 

@@ -1,0 +1,13 @@
+"""Fixtures for the lineage test suite (builders live in helpers.py)."""
+
+import pytest
+
+from helpers import build_chain, make
+
+
+@pytest.fixture
+def chain():
+    """(fab, dep, hosts, seed record, chain records) with a depth-5 chain."""
+    fab, dep, hosts, rec = make()
+    records = build_chain(fab, dep, hosts[0], rec, depth=5)
+    return fab, dep, hosts, rec, records

@@ -1,0 +1,55 @@
+"""Shared builders for the lineage test suite."""
+
+from repro.blobseer import BlobSeerDeployment
+from repro.common.payload import Payload
+from repro.common.units import KiB
+from repro.simkit.host import Fabric
+
+CHUNK = 4 * KiB
+IMG = 8 * CHUNK
+
+
+def pattern(n, seed=1):
+    return bytes((i * 131 + seed * 17) % 256 for i in range(n))
+
+
+def run(fab, gen):
+    return fab.run(fab.env.process(gen))
+
+
+def make(replication=1, seed=7, n_hosts=4):
+    fab = Fabric(seed=seed)
+    hosts = [fab.add_host(f"node{i}") for i in range(n_hosts)]
+    manager = fab.add_host("manager")
+    dep = BlobSeerDeployment(
+        fab, hosts, hosts, manager, replication_factor=replication
+    )
+    rec = dep.seed_blob(Payload.from_bytes(pattern(IMG)), CHUNK)
+    return fab, dep, hosts, rec
+
+
+def build_chain(fab, dep, host, rec, depth, seed0=20, chunk_index=None):
+    """CLONE the seed blob, then COMMIT ``depth`` one-chunk diffs.
+
+    Returns the snapshot records in publish order: the clone head (v1)
+    first, then one record per commit (v2 .. v(depth+1)) — the same chain
+    shape a churn VM's MirrorHandle produces. Diffs cycle through the
+    image's chunks by default; a fixed ``chunk_index`` rewrites the same
+    chunk every commit, so each interior version's diff is superseded by
+    the next (the shape where delta-merge actually reclaims bytes).
+    """
+    client = dep.client(host)
+
+    def scenario():
+        clone = yield from client.clone(rec.blob_id, rec.version)
+        records = [clone]
+        for i in range(depth):
+            idx = (i % 8) if chunk_index is None else chunk_index
+            r = yield from client.write_chunks(
+                clone.blob_id,
+                {idx: Payload.from_bytes(pattern(CHUNK, seed0 + i))},
+            )
+            records.append(r)
+        return records
+
+    return run(fab, scenario())

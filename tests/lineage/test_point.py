@@ -1,0 +1,62 @@
+"""The ``lineage`` runner point: metrics, compaction effect, off-path identity."""
+
+from repro.runner import PointSpec, execute_point
+
+
+def lineage_spec(depth=4, seed=3, **params):
+    return PointSpec(
+        kind="lineage", profile="lineage-smoke", approach="mirror",
+        n=depth, seed=seed, params=tuple(sorted(params.items())),
+    )
+
+
+class TestExecutor:
+    def test_metrics_conserve_and_scale_with_depth(self):
+        res = execute_point(lineage_spec(depth=4))
+        m = res.metrics
+        assert m["chain_depth"] == 4
+        # uncompacted scan: 4 commits + clone v1 + source v1 + source v0
+        assert m["scan_hops"] == 4 + 3
+        assert m["restore_time"] > m["scan_time"] > 0
+        assert m["conserved"] == 1.0
+        assert m["footprint_matches"] == 1.0
+        assert m["dedup_exclusive"] + m["dedup_shared"] == m["dedup_live"]
+        assert len(res.series["snapshot_durations"]) == 4
+        assert len(res.series["chain"]) == m["scan_hops"]
+
+    def test_compaction_bounds_the_scan(self):
+        plain = execute_point(lineage_spec(depth=8))
+        flat = execute_point(lineage_spec(
+            depth=8, compact=True, policy="flatten", depth_bound=2,
+        ))
+        assert flat.metrics["skips_written"] > 0
+        assert flat.metrics["scan_hops"] <= 2 + 2
+        assert flat.metrics["scan_hops"] < plain.metrics["scan_hops"]
+        assert flat.metrics["restore_time"] < plain.metrics["restore_time"]
+
+    def test_merge_reclaims(self):
+        res = execute_point(lineage_spec(
+            depth=8, compact=True, policy="merge", depth_bound=2,
+        ))
+        assert res.metrics["versions_merged"] > 0
+        assert res.metrics["conserved"] == 1.0
+
+    def test_deterministic(self):
+        a = execute_point(lineage_spec(depth=5, compact=True))
+        b = execute_point(lineage_spec(depth=5, compact=True))
+        assert a.metrics == b.metrics
+        assert a.series == b.series
+        assert a.event_count == b.event_count
+
+
+class TestOffPath:
+    def test_lineage_run_leaves_other_kinds_untouched(self):
+        """fig4-style points are bit-identical before/after a lineage run."""
+        deploy = PointSpec(kind="deploy", profile="lineage-smoke",
+                           approach="mirror", n=4, seed=1)
+        before = execute_point(deploy)
+        execute_point(lineage_spec(depth=5, compact=True, policy="merge"))
+        after = execute_point(deploy)
+        assert before.metrics == after.metrics
+        assert before.series == after.series
+        assert before.event_count == after.event_count

@@ -166,6 +166,16 @@ class TestChurn:
         assert args.arrivals == "poisson"
         assert args.profile == "churn-smoke"
         assert args.smoke is False
+        assert args.restore_fraction == 0.0
+        assert args.retain_snapshots is False
+
+    def test_churn_restore_flags_print_restore_slos(self, capsys):
+        rc = main(["churn", "--deploys", "10", "--rate", "3", "--seed", "3",
+                   "--restore-fraction", "0.5", "--retain-snapshots"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "restores:" in out
+        assert "from retired chains" in out
 
     def test_invalid_policy_rejected(self):
         with pytest.raises(SystemExit):
@@ -220,3 +230,51 @@ class TestP2P:
         assert "smoke: off-path identical=True" in out
         assert "peer-hits=True" in out
         assert "provider-bytes-reduced=True" in out
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_help_enumerates_subcommands(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        for sub in ("deploy", "snapshot", "sweep", "churn", "lineage"):
+            assert sub in out
+
+
+class TestLineage:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["lineage"])
+        assert args.depth == 0
+        assert args.profile == "lineage"
+        assert args.policy == "flatten"
+        assert args.depth_bound == 4
+        assert not args.compact
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lineage", "--policy", "squash"])
+
+    def test_lineage_prints_restore_and_dedup(self, capsys):
+        rc = main(["lineage", "--profile", "lineage-smoke", "--depth", "3",
+                   "--seed", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "restore latency" in out
+        assert "dedup accounting" in out
+        assert "exclusive+shared==live: ok" in out
+
+    def test_lineage_smoke_passes(self, capsys):
+        rc = main(["lineage", "--smoke", "--profile", "lineage-smoke",
+                   "--depth", "4", "--compact", "--depth-bound", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "deterministic=True" in out
+        assert "conserved=True" in out

@@ -96,6 +96,41 @@ class TestChurnDocs:
             REPO / ".github" / "workflows" / "ci.yml").read_text()
 
 
+class TestLineageDocs:
+    def test_design_doc_covers_lineage_modules(self):
+        text = (REPO / "DESIGN.md").read_text()
+        assert "repro.lineage" in text
+        for mod in ("tree.py", "dedup.py", "restore.py", "compact.py"):
+            assert (REPO / "src" / "repro" / "lineage" / mod).exists(), mod
+            assert mod in text, f"DESIGN.md module map missing lineage {mod}"
+
+    def test_experiments_doc_covers_lineage(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        assert "restore" in text
+        assert "BENCH_lineage.json" in text
+
+    def test_readme_quickstart_covers_lineage(self):
+        text = (REPO / "README.md").read_text()
+        assert "python -m repro lineage" in text
+        assert "make lineage-smoke" in text
+
+    def test_tracked_lineage_numbers_exist(self):
+        import json
+        data = json.loads((REPO / "BENCH_lineage.json").read_text())
+        rows = data["current"]["restore"]
+        depths = data["depths"]
+        for mode in ("off", "flatten"):
+            for d in depths:
+                assert f"{mode}-d{d}" in rows, f"missing {mode}-d{d}"
+        assert f"merge-d{depths[-1]}" in rows
+        assert data["current"]["determinism"]["identical"] is True
+
+    def test_makefile_and_ci_wire_lineage_smoke(self):
+        assert "lineage-smoke:" in (REPO / "Makefile").read_text()
+        assert "lineage-smoke" in (
+            REPO / ".github" / "workflows" / "ci.yml").read_text()
+
+
 class TestBenchmarkCoverage:
     def test_one_bench_file_per_figure(self):
         bench_dir = REPO / "benchmarks"
