@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-quick perf scale scale-smoke sweep-smoke p2p-smoke churn churn-smoke lineage lineage-smoke examples clean
+.PHONY: install test lint bench bench-quick perf scale scale-smoke sweep-smoke p2p-smoke churn churn-smoke lineage lineage-smoke topo topo-smoke examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,11 +25,12 @@ p2p-smoke:       ## tiny p2p deployment: peer hits > 0, off-path bit-identical
 	PYTHONPATH=src python -m repro p2p --smoke --instances 8 --pool 12 \
 		--image-mib 64 --touched-mib 8
 
-perf: sweep-smoke p2p-smoke scale-smoke churn-smoke lineage-smoke ## simulator throughput gates (~2 min)
+perf: sweep-smoke p2p-smoke scale-smoke churn-smoke lineage-smoke topo-smoke ## simulator throughput gates (~2 min)
 	PYTHONPATH=src python benchmarks/bench_simperf.py
 	PYTHONPATH=src python benchmarks/bench_scale.py
 	PYTHONPATH=src python benchmarks/bench_churn.py
 	PYTHONPATH=src python benchmarks/bench_lineage.py
+	PYTHONPATH=src python benchmarks/bench_topo.py
 
 scale:           ## n in {64,256,512} scale benchmark vs BENCH_scale.json (~1 min)
 	PYTHONPATH=src python benchmarks/bench_scale.py
@@ -50,6 +51,13 @@ lineage:         ## restore-vs-depth grid (compaction on/off) vs BENCH_lineage.j
 lineage-smoke:   ## tiny-depth lineage harness check (asserts gate logic + CLI smoke)
 	PYTHONPATH=src python benchmarks/bench_lineage.py --smoke
 	PYTHONPATH=src python -m repro lineage --smoke --depth 4 --compact
+
+topo:            ## rack sweep (locality x oversubscription) vs BENCH_topo.json (~1 min)
+	PYTHONPATH=src python benchmarks/bench_topo.py
+
+topo-smoke:      ## tiny-fabric topology harness check (asserts gate logic + CLI smoke)
+	PYTHONPATH=src python benchmarks/bench_topo.py --smoke
+	PYTHONPATH=src python -m repro topo --smoke --racks 4
 
 examples:
 	python examples/quickstart.py

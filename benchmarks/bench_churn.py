@@ -40,9 +40,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import multiprocessing
-import resource
 import sys
 import time
 from pathlib import Path
@@ -53,6 +50,10 @@ BENCH_PATH = REPO_ROOT / "BENCH_churn.json"
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from gates import (  # noqa: E402
+    field_drift, jcopy, load_tracked, rss_mib, run_in_child,
+    throughput_floor, write_tracked,
+)
 from repro.runner import PointSpec, execute_point  # noqa: E402
 
 #: allowed fractional drop in requests/s before the throughput gate fails
@@ -110,42 +111,22 @@ def _measure_once(label: str, n: int, profile: str, gc_interval: float) -> dict:
     t0 = time.perf_counter()
     res = execute_point(_spec(label, n, profile, gc_interval))
     wall = time.perf_counter() - t0
-    rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     fp = res.series["footprint_bytes"]
     row = {k: res.metrics[k] for k in SIM_FIELDS}
     row["footprint_monotone"] = all(b >= a for a, b in zip(fp, fp[1:]))
     row["events"] = res.event_count
     row["wall_s"] = round(wall, 3)
     row["requests_per_s"] = round(res.metrics["n_requests"] / wall, 1) if wall else 0.0
-    row["peak_rss_mib"] = round(rss_kib / 1024.0, 1)
+    row["peak_rss_mib"] = rss_mib()
     return row
-
-
-def _child(conn, label, n, profile, gc_interval) -> None:
-    try:
-        conn.send(_measure_once(label, n, profile, gc_interval))
-    except BaseException as exc:  # surface the child's failure, don't hang
-        conn.send({"error": f"{type(exc).__name__}: {exc}"})
-    finally:
-        conn.close()
 
 
 def measure_point(label: str, n: int, profile: str, gc_interval: float = 60.0) -> dict:
     """Measure one churn point in a forked child (true per-point peak RSS)."""
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:
-        return _measure_once(label, n, profile, gc_interval)
-    parent_conn, child_conn = ctx.Pipe(duplex=False)
-    proc = ctx.Process(target=_child, args=(child_conn, label, n, profile, gc_interval))
-    proc.start()
-    child_conn.close()
-    row = parent_conn.recv()
-    proc.join()
-    parent_conn.close()
-    if "error" in row:
-        raise RuntimeError(f"churn point {label}@{n} failed in child: {row['error']}")
-    return row
+    return run_in_child(
+        _measure_once, label, n, profile, gc_interval,
+        label=f"churn point {label}@{n}",
+    )
 
 
 def measure(profile: str = "churn", policy_n: int = POLICY_N, gc_n: int = GC_N,
@@ -176,8 +157,7 @@ def measure(profile: str = "churn", policy_n: int = POLICY_N, gc_n: int = GC_N,
 # tracked file + gates
 # --------------------------------------------------------------------------- #
 def load_committed() -> dict:
-    with open(BENCH_PATH) as fh:
-        return json.load(fh)
+    return load_tracked(BENCH_PATH)
 
 
 def _points(section: dict):
@@ -227,20 +207,13 @@ def check_regression(fresh: dict, committed: dict) -> list:
         base = current.get(grid, {}).get(label)
         if base is None:
             continue
-        for field in SIM_FIELDS + ("footprint_monotone",):
-            if now[field] != base[field]:
-                failures.append(
-                    f"{grid}/{label}: {field} {now[field]} != committed "
-                    f"{base[field]} (the simulated workload changed; rerun "
-                    "with --update if intentional)"
-                )
-        floor = base["requests_per_s"] * (1.0 - REGRESSION_TOLERANCE)
-        if now["requests_per_s"] < floor:
-            failures.append(
-                f"{grid}/{label}: {now['requests_per_s']} requests/s is more "
-                f"than {REGRESSION_TOLERANCE:.0%} below the committed "
-                f"{base['requests_per_s']} requests/s"
-            )
+        failures += field_drift(
+            f"{grid}/{label}", now, base, SIM_FIELDS + ("footprint_monotone",)
+        )
+        failures += throughput_floor(
+            f"{grid}/{label}", now["requests_per_s"], base["requests_per_s"],
+            REGRESSION_TOLERANCE, unit="requests/s",
+        )
     failures += check_acceptance(fresh)
     return failures
 
@@ -262,20 +235,20 @@ def run_smoke() -> int:
     ok = dict(fresh)
     # at smoke n the acceptance invariants are not meaningful; check the
     # gate pieces separately so pass/fail is about the *logic*, not noise
-    committed = {"current": json.loads(json.dumps(fresh))}
+    committed = {"current": jcopy(fresh)}
     drift = [f for f in check_regression(fresh, committed)
              if "!= committed" in f or "requests/s" in f]
     if drift:
         print("smoke: gate failed on identical numbers:", drift, file=sys.stderr)
         return 1
 
-    drifted = json.loads(json.dumps(committed))
+    drifted = jcopy(committed)
     drifted["current"]["policy"]["first-fit"]["trace_crc"] += 1
     if not any("trace_crc" in f for f in check_regression(fresh, drifted)):
         print("smoke: gate missed a simulated-outcome drift", file=sys.stderr)
         return 1
 
-    slow = json.loads(json.dumps(committed))
+    slow = jcopy(committed)
     for rows in slow["current"].values():
         for row in rows.values():
             row["requests_per_s"] = row["requests_per_s"] * 100 + 1000
@@ -283,7 +256,7 @@ def run_smoke() -> int:
         print("smoke: gate missed a throughput collapse", file=sys.stderr)
         return 1
 
-    synth = json.loads(json.dumps(fresh))
+    synth = jcopy(fresh)
     for _, _, row in _points(synth):
         row["n_requests"] = MIN_REQUESTS  # silence the size floor
     synth["policy"]["locality"]["boot_p99_exact"] = (
@@ -291,7 +264,7 @@ def run_smoke() -> int:
     if not any("does not beat" in f for f in check_acceptance(synth)):
         print("smoke: gate missed a locality-vs-first-fit violation", file=sys.stderr)
         return 1
-    synth = json.loads(json.dumps(fresh))
+    synth = jcopy(fresh)
     for _, _, row in _points(synth):
         row["n_requests"] = MIN_REQUESTS
     synth["gc"]["gc"]["bytes_reclaimed"] = 0
@@ -337,9 +310,7 @@ def main(argv=None) -> int:
             for f in failures:
                 print(f"CHURN ACCEPTANCE: {f}", file=sys.stderr)
             return 1
-        with open(BENCH_PATH, "w") as fh:
-            json.dump(committed, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        write_tracked(BENCH_PATH, committed)
         print(f"updated {BENCH_PATH}")
         return 0
 

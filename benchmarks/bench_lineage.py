@@ -41,9 +41,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import multiprocessing
-import resource
 import sys
 import time
 from pathlib import Path
@@ -54,6 +51,10 @@ BENCH_PATH = REPO_ROOT / "BENCH_lineage.json"
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from gates import (  # noqa: E402
+    field_drift, jcopy, load_tracked, rss_mib, run_in_child,
+    throughput_floor, write_tracked,
+)
 from repro.runner import PointSpec, SweepRunner, execute_point  # noqa: E402
 
 #: allowed fractional drop in events/s before the throughput gate fails
@@ -98,45 +99,21 @@ def _measure_once(mode: str, depth: int, profile: str, depth_bound: int) -> dict
     t0 = time.perf_counter()
     res = execute_point(_spec(mode, depth, profile, depth_bound))
     wall = time.perf_counter() - t0
-    rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     row = {k: res.metrics[k] for k in SIM_FIELDS}
     row["events"] = res.event_count
     row["wall_s"] = round(wall, 3)
     row["events_per_s"] = round(res.event_count / wall, 1) if wall else 0.0
-    row["peak_rss_mib"] = round(rss_kib / 1024.0, 1)
+    row["peak_rss_mib"] = rss_mib()
     return row
-
-
-def _child(conn, mode, depth, profile, depth_bound) -> None:
-    try:
-        conn.send(_measure_once(mode, depth, profile, depth_bound))
-    except BaseException as exc:  # surface the child's failure, don't hang
-        conn.send({"error": f"{type(exc).__name__}: {exc}"})
-    finally:
-        conn.close()
 
 
 def measure_point(mode: str, depth: int, profile: str,
                   depth_bound: int = DEPTH_BOUND) -> dict:
     """Measure one lineage point in a forked child (true per-point RSS)."""
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:
-        return _measure_once(mode, depth, profile, depth_bound)
-    parent_conn, child_conn = ctx.Pipe(duplex=False)
-    proc = ctx.Process(
-        target=_child, args=(child_conn, mode, depth, profile, depth_bound)
+    return run_in_child(
+        _measure_once, mode, depth, profile, depth_bound,
+        label=f"lineage point {mode}@d{depth}",
     )
-    proc.start()
-    child_conn.close()
-    row = parent_conn.recv()
-    proc.join()
-    parent_conn.close()
-    if "error" in row:
-        raise RuntimeError(
-            f"lineage point {mode}@d{depth} failed in child: {row['error']}"
-        )
-    return row
 
 
 def check_determinism(profile: str, depths, depth_bound: int) -> dict:
@@ -191,8 +168,7 @@ def measure(profile: str = "lineage", depths=DEPTHS,
 # tracked file + gates
 # --------------------------------------------------------------------------- #
 def load_committed() -> dict:
-    with open(BENCH_PATH) as fh:
-        return json.load(fh)
+    return load_tracked(BENCH_PATH)
 
 
 def _by_depth(rows: dict, mode: str):
@@ -272,24 +248,15 @@ def check_regression(fresh: dict, committed: dict,
     failures = []
     current = committed.get("current", {}).get("restore", {})
     for label, now in sorted(fresh.get("restore", {}).items()):
-        base = current.get(label)
-        if base is None:
-            continue
-        for field in SIM_FIELDS:
-            if now[field] != base[field]:
-                failures.append(
-                    f"restore/{label}: {field} {now[field]} != committed "
-                    f"{base[field]} (the simulated workload changed; rerun "
-                    "with --update if intentional)"
-                )
-    base_eps = _aggregate_eps(current)
-    now_eps = _aggregate_eps(fresh.get("restore", {}))
-    if base_eps and now_eps < base_eps * (1.0 - REGRESSION_TOLERANCE):
-        failures.append(
-            f"aggregate throughput {now_eps:.0f} events/s is more than "
-            f"{REGRESSION_TOLERANCE:.0%} below the committed "
-            f"{base_eps:.0f} events/s"
+        failures += field_drift(
+            f"restore/{label}", now, current.get(label), SIM_FIELDS
         )
+    failures += throughput_floor(
+        "restore aggregate",
+        round(_aggregate_eps(fresh.get("restore", {}))),
+        round(_aggregate_eps(current)),
+        REGRESSION_TOLERANCE,
+    )
     failures += check_acceptance(fresh, depth_bound)
     return failures
 
@@ -313,45 +280,45 @@ def run_smoke() -> int:
               check_acceptance(fresh, bound), file=sys.stderr)
         return 1
 
-    committed = {"current": json.loads(json.dumps(fresh))}
+    committed = {"current": jcopy(fresh)}
     drift = check_regression(fresh, committed, bound)
     if drift:
         print("smoke: gate failed on identical numbers:", drift, file=sys.stderr)
         return 1
 
-    drifted = json.loads(json.dumps(committed))
+    drifted = jcopy(committed)
     drifted["current"]["restore"]["off-d2"]["scan_hops"] += 1
     if not any("scan_hops" in f for f in check_regression(fresh, drifted, bound)):
         print("smoke: gate missed a simulated-outcome drift", file=sys.stderr)
         return 1
 
-    slow = json.loads(json.dumps(committed))
+    slow = jcopy(committed)
     for row in slow["current"]["restore"].values():
         row["wall_s"] = row["wall_s"] / 1000.0 + 1e-6
     if not any("events/s" in f for f in check_regression(fresh, slow, bound)):
         print("smoke: gate missed a throughput collapse", file=sys.stderr)
         return 1
 
-    synth = json.loads(json.dumps(fresh))
+    synth = jcopy(fresh)
     synth["restore"]["off-d5"]["scan_hops"] = (
         synth["restore"]["off-d2"]["scan_hops"])
     if not any("not monotone" in f for f in check_acceptance(synth, bound)):
         print("smoke: gate missed a monotonicity violation", file=sys.stderr)
         return 1
 
-    synth = json.loads(json.dumps(fresh))
+    synth = jcopy(fresh)
     synth["restore"]["flatten-d5"]["scan_hops"] = 99
     if not any("exceed the" in f for f in check_acceptance(synth, bound)):
         print("smoke: gate missed a compaction-bound violation", file=sys.stderr)
         return 1
 
-    synth = json.loads(json.dumps(fresh))
+    synth = jcopy(fresh)
     synth["restore"]["off-d2"]["conserved"] = 0.0
     if not any("conserve" in f for f in check_acceptance(synth, bound)):
         print("smoke: gate missed a conservation violation", file=sys.stderr)
         return 1
 
-    synth = json.loads(json.dumps(fresh))
+    synth = jcopy(fresh)
     synth["determinism"]["identical"] = False
     if not any("bit-identical" in f for f in check_acceptance(synth, bound)):
         print("smoke: gate missed a determinism violation", file=sys.stderr)
@@ -390,9 +357,7 @@ def main(argv=None) -> int:
             for f in failures:
                 print(f"LINEAGE ACCEPTANCE: {f}", file=sys.stderr)
             return 1
-        with open(BENCH_PATH, "w") as fh:
-            json.dump(committed, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        write_tracked(BENCH_PATH, committed)
         print(f"updated {BENCH_PATH}")
         return 0
 

@@ -44,8 +44,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import multiprocessing
-import resource
 import sys
 import time
 from pathlib import Path
@@ -56,6 +54,10 @@ BENCH_PATH = REPO_ROOT / "BENCH_scale.json"
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from gates import (  # noqa: E402
+    field_drift, jcopy, load_tracked, rss_mib, run_in_child,
+    throughput_floor, write_tracked,
+)
 from repro.cloud import deploy, snapshot_all  # noqa: E402
 from repro.runner import (  # noqa: E402
     SCALE,
@@ -134,17 +136,7 @@ def _measure_once(variant: str, n: int, profile_name: str) -> dict:
     t0 = time.perf_counter()
     events = run_workload(variant, n, profile_name)
     wall = time.perf_counter() - t0
-    rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    return {"wall_s": wall, "events": events, "peak_rss_mib": round(rss_kib / 1024.0, 1)}
-
-
-def _child(conn, variant: str, n: int, profile_name: str) -> None:
-    try:
-        conn.send(_measure_once(variant, n, profile_name))
-    except BaseException as exc:  # surface the child's failure, don't hang
-        conn.send({"error": f"{type(exc).__name__}: {exc}"})
-    finally:
-        conn.close()
+    return {"wall_s": wall, "events": events, "peak_rss_mib": rss_mib()}
 
 
 def measure_point(
@@ -153,31 +145,16 @@ def measure_point(
 ) -> dict:
     """Best-of-N measurement of one point, each run in a forked child.
 
-    The fork gives a true per-point peak RSS (the child starts from the
-    parent's COW image, so its ``ru_maxrss`` reflects this workload's
-    footprint rather than the harness's history). Where fork is unavailable
-    the point runs in-process and RSS degrades to a monotone high-water mark.
+    The fork (see :func:`gates.run_in_child`) gives a true per-point peak
+    RSS; where fork is unavailable the point runs in-process and RSS
+    degrades to a monotone high-water mark.
     """
     best = None
     for _ in range(max(1, repeats)):
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:
-            row = _measure_once(variant, n, profile_name)
-        else:
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=_child, args=(child_conn, variant, n, profile_name)
-            )
-            proc.start()
-            child_conn.close()
-            row = parent_conn.recv()
-            proc.join()
-            parent_conn.close()
-            if "error" in row:
-                raise RuntimeError(
-                    f"scale point {variant}@{n} failed in child: {row['error']}"
-                )
+        row = run_in_child(
+            _measure_once, variant, n, profile_name,
+            label=f"scale point {variant}@{n}",
+        )
         if best is None or row["wall_s"] < best["wall_s"]:
             best = row
     best["wall_s"] = round(best["wall_s"], 3)
@@ -209,8 +186,7 @@ def measure(
 # tracked file + gate
 # --------------------------------------------------------------------------- #
 def load_committed() -> dict:
-    with open(BENCH_PATH) as fh:
-        return json.load(fh)
+    return load_tracked(BENCH_PATH)
 
 
 def _points(section: dict):
@@ -227,19 +203,11 @@ def check_regression(fresh: dict, committed: dict) -> list:
         base = current.get(variant, {}).get(n)
         if base is None:
             continue
-        floor = base["events_per_s"] * (1.0 - REGRESSION_TOLERANCE)
-        if now["events_per_s"] < floor:
-            failures.append(
-                f"{variant}@{n}: {now['events_per_s']} events/s is more than "
-                f"{REGRESSION_TOLERANCE:.0%} below the committed "
-                f"{base['events_per_s']} events/s"
-            )
-        if now["events"] != base["events"]:
-            failures.append(
-                f"{variant}@{n}: event count {now['events']} != committed "
-                f"{base['events']} (the simulated workload changed; rerun "
-                "with --update if intentional)"
-            )
+        failures += throughput_floor(
+            f"{variant}@{n}", now["events_per_s"], base["events_per_s"],
+            REGRESSION_TOLERANCE,
+        )
+        failures += field_drift(f"{variant}@{n}", now, base, ("events",))
     failures += check_target(fresh, committed)
     return failures
 
@@ -290,12 +258,12 @@ def run_smoke(repeats: int = 1) -> int:
         repeats=repeats,
     )
 
-    committed = {"current": json.loads(json.dumps(fresh))}
+    committed = {"current": jcopy(fresh)}
     if check_regression(fresh, committed):
         print("smoke: gate failed on identical numbers", file=sys.stderr)
         return 1
 
-    slow = json.loads(json.dumps(committed))
+    slow = jcopy(committed)
     for rows in slow["current"].values():
         for row in rows.values():
             row["events_per_s"] = row["events_per_s"] * 100 + 1000
@@ -303,10 +271,10 @@ def run_smoke(repeats: int = 1) -> int:
         print("smoke: gate missed an events/s collapse", file=sys.stderr)
         return 1
 
-    drifted = json.loads(json.dumps(committed))
+    drifted = jcopy(committed)
     drifted["current"]["deploy"]["12"]["events"] += 1
     if not any(
-        "event count" in f for f in check_regression(fresh, drifted)
+        ": events " in f for f in check_regression(fresh, drifted)
     ):
         print("smoke: gate missed an event-count change", file=sys.stderr)
         return 1
@@ -389,9 +357,7 @@ def main(argv=None) -> int:
         if args.update:
             committed["current"] = fresh
         committed["speedup_vs_precohort"] = _speedups(committed)
-        with open(BENCH_PATH, "w") as fh:
-            json.dump(committed, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        write_tracked(BENCH_PATH, committed)
         print(f"updated {BENCH_PATH}")
         return 0
 

@@ -1,0 +1,124 @@
+"""Shared machinery of the tracked benchmark harnesses.
+
+Every tracked benchmark (``bench_scale``, ``bench_churn``,
+``bench_lineage``, ``bench_topo``) follows the same protocol: measure a
+deterministic grid point-by-point in forked children, compare the simulated
+outcomes *exactly* against a committed ``BENCH_*.json``, gate wall-clock
+throughput with a fractional tolerance, and self-test the gate logic in a
+``--smoke`` mode against doctored copies of its own output. This module
+holds the protocol pieces so each harness only writes its grid, its
+acceptance invariants, and its printout.
+
+* :func:`run_in_child` — run a measurement callable in a forked child so
+  ``ru_maxrss`` is a true per-point peak, not a harness high-water mark;
+* :func:`rss_mib` — the current process's peak RSS (the child calls it);
+* :func:`load_tracked` / :func:`write_tracked` — the ``BENCH_*.json``
+  round-trip (sorted keys, trailing newline — stable diffs);
+* :func:`jcopy` — JSON-round-trip deep copy (what the smoke self-tests
+  doctor);
+* :func:`field_drift` — exact-match comparison of deterministic simulated
+  outcomes against the committed row;
+* :func:`throughput_floor` — the fractional wall-clock regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import resource
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def rss_mib() -> float:
+    """Peak RSS of the current process in MiB (Linux ``ru_maxrss`` is KiB)."""
+    return round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+    )
+
+
+def _child(conn, fn: Callable[..., dict], args: tuple) -> None:
+    try:
+        conn.send(fn(*args))
+    except BaseException as exc:  # surface the child's failure, don't hang
+        conn.send({"error": f"{type(exc).__name__}: {exc}"})
+    finally:
+        conn.close()
+
+
+def run_in_child(fn: Callable[..., dict], *args, label: str = "point") -> dict:
+    """Run ``fn(*args) -> dict`` in a forked child and return its result.
+
+    The fork gives a true per-point peak RSS (the child starts from the
+    parent's COW image, so its ``ru_maxrss`` reflects this workload alone).
+    Where fork is unavailable the call degrades to in-process execution and
+    RSS becomes a monotone high-water mark. A dict with an ``"error"`` key
+    (or a crashed child) raises ``RuntimeError`` with the child's traceback
+    summary.
+    """
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return fn(*args)
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_child, args=(child_conn, fn, args))
+    proc.start()
+    child_conn.close()
+    row = parent_conn.recv()
+    proc.join()
+    parent_conn.close()
+    if "error" in row:
+        raise RuntimeError(f"{label} failed in child: {row['error']}")
+    return row
+
+
+def load_tracked(path: Path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def write_tracked(path: Path, data: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def jcopy(obj):
+    """Deep copy via a JSON round-trip (doctorable smoke-test copies)."""
+    return json.loads(json.dumps(obj))
+
+
+def field_drift(
+    label: str, now: dict, base: Optional[dict], fields: Iterable[str]
+) -> List[str]:
+    """Exact-match gate on deterministic simulated outcomes.
+
+    Returns one failure line per field of ``now`` that differs from the
+    committed ``base`` row; an absent ``base`` (a new grid point) passes.
+    """
+    if base is None:
+        return []
+    return [
+        f"{label}: {field} {now[field]} != committed {base[field]} "
+        "(the simulated workload changed; rerun with --update if intentional)"
+        for field in fields
+        if now[field] != base[field]
+    ]
+
+
+def throughput_floor(
+    label: str,
+    now_value: float,
+    base_value: float,
+    tolerance: float,
+    unit: str = "events/s",
+) -> List[str]:
+    """Fractional wall-clock regression gate (empty list = within budget)."""
+    if base_value and now_value < base_value * (1.0 - tolerance):
+        return [
+            f"{label}: {now_value} {unit} is more than {tolerance:.0%} "
+            f"below the committed {base_value} {unit}"
+        ]
+    return []

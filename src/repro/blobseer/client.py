@@ -476,6 +476,22 @@ class BlobClient:
         result = yield from self._fetch_refs_providers(refs)
         return result
 
+    def _read_replica(self, ref: ChunkRef) -> str:
+        """Which replica to read: same-rack when the deployment is rack-aware.
+
+        ``read_topology`` is None unless the cloud was built rack-aware, so
+        the default path stays exactly ``providers[0]`` (seed behavior).
+        """
+        providers = ref.providers
+        topo = self.deployment.read_topology
+        if topo is None or len(providers) == 1:
+            return providers[0]
+        my_rack = topo.rack(self.host.name)
+        for p in providers:
+            if topo.rack(p) == my_rack:
+                return p
+        return providers[0]
+
     def _fetch_refs_providers(self, refs: Dict[int, ChunkRef]):
         """The provider-only fetch path (also the p2p fallback of last resort)."""
         if self.deployment.retry is not None:
@@ -483,7 +499,7 @@ class BlobClient:
             return result
         by_provider: Dict[str, List[int]] = {}
         for idx, ref in refs.items():
-            by_provider.setdefault(ref.providers[0], []).append(idx)
+            by_provider.setdefault(self._read_replica(ref), []).append(idx)
 
         def fetch_group(provider_name: str, indices: List[int], replica: int = 0):
             indices = sorted(indices)

@@ -11,14 +11,20 @@ striping actually spreads I/O (§3.1.3). Three strategies are provided:
     uniform random placement (models hash-based placement);
 ``least-loaded``
     pick the providers with the fewest allocated bytes (greedy balancing,
-    useful for the heterogeneous-diff ablation).
+    useful for the heterogeneous-diff ablation);
+``rack-diverse``
+    spread each chunk's replicas across distinct racks (requires a
+    ``rack_of`` map from the attached topology). With replication >= the
+    number of racks holding providers, every rack gets a replica, so a
+    rack-local read path exists for every reader while a whole-rack
+    failure still leaves live copies elsewhere.
 
 Replication ``r`` returns ``r`` distinct providers per chunk.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -36,10 +42,11 @@ class PlacementPolicy:
         strategy: str = "round-robin",
         rng: Optional[np.random.Generator] = None,
         replication_factor: int = 1,
+        rack_of: Optional[Dict[str, int]] = None,
     ):
         if not providers:
             raise StorageError("no data providers")
-        if strategy not in ("round-robin", "random", "least-loaded"):
+        if strategy not in ("round-robin", "random", "least-loaded", "rack-diverse"):
             raise StorageError(f"unknown placement strategy {strategy!r}")
         if replication_factor < 1 or replication_factor > len(providers):
             raise StorageError(
@@ -53,6 +60,19 @@ class PlacementPolicy:
         self.replication_factor = replication_factor
         self._cursor = 0
         self.load_bytes = {name: 0 for name in self.providers}
+        if strategy == "rack-diverse":
+            if rack_of is None:
+                raise StorageError(
+                    "rack-diverse placement requires a rack_of map (attach a topology)"
+                )
+            groups: Dict[int, List[str]] = {}
+            for p in self.providers:
+                groups.setdefault(rack_of.get(p, 0), []).append(p)
+            #: rack ids ascending; within a rack, provider list order is kept
+            self._racks = sorted(groups)
+            self._rack_groups = {r: groups[r] for r in self._racks}
+            self._rack_cursors = {r: 0 for r in self._racks}
+            self._rack_start = 0
 
     def allocate(
         self,
@@ -101,6 +121,8 @@ class PlacementPolicy:
             elif self.strategy == "random":
                 idx = self.rng.choice(len(self.providers), size=replication, replace=False)
                 picks = [self.providers[int(i)] for i in idx]
+            elif self.strategy == "rack-diverse":
+                picks = self._rack_diverse_picks(replication)
             else:  # least-loaded
                 ranked = sorted(self.providers, key=lambda p: (self.load_bytes[p], p))
                 picks = ranked[:replication]
@@ -108,6 +130,54 @@ class PlacementPolicy:
                 self.load_bytes[p] += chunk_size
             out.append(tuple(picks))
         return out
+
+    def _rack_diverse_picks(
+        self, replication: int, allowed: Optional[Set[str]] = None
+    ) -> List[str]:
+        """One chunk's replica set: one provider per rack, racks rotating.
+
+        The starting rack rotates per chunk (so replica-0 load spreads over
+        all racks) and each rack keeps its own provider cursor (so load
+        spreads within the rack). Replication beyond the number of racks —
+        or racks emptied by ``allowed`` filtering — falls back to cycling
+        the flat provider list for the remainder.
+        """
+        racks = self._racks
+        n_racks = len(racks)
+        picks: List[str] = []
+        chosen: Set[str] = set()
+        start = self._rack_start
+        for i in range(n_racks):
+            if len(picks) == replication:
+                break
+            r = racks[(start + i) % n_racks]
+            group = self._rack_groups[r]
+            n = len(group)
+            cur = self._rack_cursors[r]
+            for j in range(n):
+                p = group[(cur + j) % n]
+                if allowed is not None and p not in allowed:
+                    continue
+                picks.append(p)
+                chosen.add(p)
+                self._rack_cursors[r] = (cur + j + 1) % n
+                break
+        self._rack_start = (start + 1) % n_racks
+        if len(picks) < replication:
+            providers = self.providers
+            n = len(providers)
+            cur = self._cursor
+            scanned = 0
+            while len(picks) < replication and scanned < n:
+                p = providers[cur % n]
+                cur += 1
+                scanned += 1
+                if p in chosen or (allowed is not None and p not in allowed):
+                    continue
+                picks.append(p)
+                chosen.add(p)
+            self._cursor = cur % n
+        return picks
 
     def _allocate_excluding(
         self,
@@ -133,6 +203,8 @@ class PlacementPolicy:
             elif self.strategy == "random":
                 idx = self.rng.choice(len(eligible), size=replication, replace=False)
                 picks = [eligible[int(i)] for i in idx]
+            elif self.strategy == "rack-diverse":
+                picks = self._rack_diverse_picks(replication, allowed=set(eligible))
             else:  # least-loaded
                 ranked = sorted(eligible, key=lambda p: (self.load_bytes[p], p))
                 picks = ranked[:replication]

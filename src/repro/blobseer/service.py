@@ -54,6 +54,8 @@ class BlobSeerDeployment:
         replica_write_mode: str = "parallel",
         meta_replication: Optional[int] = None,
         retry: Optional["RetryPolicy"] = None,
+        topology=None,
+        rack_aware_reads: bool = False,
     ):
         if not data_hosts or not meta_hosts:
             raise StorageError("need at least one data and one metadata host")
@@ -86,6 +88,16 @@ class BlobSeerDeployment:
         #: cooperative chunk-exchange overlay (:class:`repro.p2p.PeerNetwork`);
         #: ``None`` (the default) leaves clients on the provider-only path
         self.peer_network = None
+        #: hierarchical fabric description (None = flat); enables the
+        #: rack-diverse placement strategy below
+        self.topology = topology
+        #: when set, clients prefer a same-rack replica on reads; ``None``
+        #: keeps replica selection byte-identical to the seed (providers[0])
+        self.read_topology = (
+            topology
+            if (rack_aware_reads and topology is not None and topology.multi_rack)
+            else None
+        )
         self.fabric = fabric
         self.model = model if model is not None else ServiceModel()
         self.metadata = MetadataStore()
@@ -133,6 +145,7 @@ class BlobSeerDeployment:
             strategy=placement,
             rng=fabric.rng.get("blobseer-placement"),
             replication_factor=replication_factor,
+            rack_of=topology.rack_of if topology is not None else None,
         )
         self.pmanager = ProviderManagerService(self.pmanager_host, self.policy, self.model)
         rpc.bind(self.pmanager_host, "blob-pmgr", self.pmanager)

@@ -77,14 +77,19 @@ class ChurnEngine:
         }
 
         self.locality: Optional[LocalityMap] = None
-        if spec.policy == "locality":
+        if spec.policy in ("locality", "rack-affinity"):
             caches = None
             if cloud.p2p is not None:
                 caches = cloud.p2p.caches
+            rack_of = None
+            topo = getattr(cloud, "topology", None)
+            if topo is not None and topo.multi_rack:
+                rack_of = topo.rack_of
             self.locality = LocalityMap(
                 [h.name for h in cloud.compute],
                 caches=caches,
                 tenant_keys=self._tenant_chunk_keys(),
+                rack_of=rack_of,
             )
         self.scheduler = Scheduler(
             len(cloud.compute),

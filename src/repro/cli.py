@@ -7,6 +7,7 @@ Subcommands::
     python -m repro sweep     --figure fig4 --profile quick --jobs 4
     python -m repro faults    --instances 8 --replication 2 --crashes 2
     python -m repro p2p       --instances 32 --directory announce
+    python -m repro topo      --racks 4 --oversubscription 4
     python -m repro churn     --deploys 200 --policy locality --p2p
     python -m repro lineage   --depth 8 --compact --policy flatten
     python -m repro trace     --figure fig4 -n 8
@@ -20,7 +21,9 @@ runs a whole figure's measurement sweep through the parallel
 :mod:`repro.runner` engine (multi-core fan-out plus the persistent result
 cache); ``faults`` replays a multideployment while a deterministic fault
 plan crashes storage nodes (chunk replication + client failover keep it
-alive); ``churn`` runs a long-horizon multi-tenant arrival/teardown stream
+alive); ``topo`` deploys over a hierarchical (racked, oversubscribed)
+fabric and compares locality-aware policies against a topology-blind
+baseline; ``churn`` runs a long-horizon multi-tenant arrival/teardown stream
 through the placement engine and prints steady-state SLOs; ``lineage``
 builds a deep snapshot chain, optionally compacts it, and restores a VM
 from the chain head with exact dedup accounting; ``trace``
@@ -319,6 +322,93 @@ def cmd_p2p(args) -> int:
     return 0
 
 
+def cmd_topo(args) -> int:
+    from .runner import PointSpec, execute_point, resolve_profile
+
+    profile = resolve_profile(args.profile)
+    n = args.instances if args.instances > 0 else profile.instance_counts[0]
+
+    def spec_for(locality: bool, racks=None):
+        params = [
+            ("racks", racks if racks is not None else args.racks),
+            ("oversubscription", args.oversubscription),
+            ("locality", locality),
+            ("directory", args.directory),
+            ("locate_fanout", args.fanout),
+        ]
+        if args.no_p2p:
+            params.append(("p2p", False))
+        if args.replication > 1:
+            params.append(("replication", args.replication))
+        return PointSpec(
+            kind="topo", profile=profile.name, approach="mirror",
+            n=n, seed=args.seed, params=tuple(params),
+        )
+
+    blind = execute_point(spec_for(False))
+    aware = execute_point(spec_for(True))
+    bm, am = blind.metrics, aware.metrics
+
+    def cross_frac(m):
+        total = m["intra_rack_bytes"] + m["cross_rack_bytes"]
+        return m["cross_rack_bytes"] / total if total else 0.0
+
+    cut = (1.0 - am["cross_rack_bytes"] / bm["cross_rack_bytes"]
+           if bm["cross_rack_bytes"] else 0.0)
+    print(f"instances:        {n}  (racks={args.racks}, "
+          f"oversubscription={args.oversubscription:g}, "
+          f"p2p={not args.no_p2p}, directory={args.directory})")
+    print(f"                  {'blind':>14}{'locality':>14}")
+    print(f"avg boot:         {fmt_time(bm['avg_boot_time']):>14}"
+          f"{fmt_time(am['avg_boot_time']):>14}")
+    print(f"completion:       {fmt_time(bm['completion_time']):>14}"
+          f"{fmt_time(am['completion_time']):>14}")
+    print(f"intra-rack bytes: {fmt_size(bm['intra_rack_bytes']):>14}"
+          f"{fmt_size(am['intra_rack_bytes']):>14}")
+    print(f"cross-rack bytes: {fmt_size(bm['cross_rack_bytes']):>14}"
+          f"{fmt_size(am['cross_rack_bytes']):>14}")
+    print(f"cross-rack share: {cross_frac(bm):>13.1%}{cross_frac(am):>14.1%}")
+    print(f"cross-rack cut:   {cut:.1%} (locality vs topology-blind)")
+
+    if args.smoke:
+        # self-checks: (1) re-executing the locality spec is bit-identical;
+        # (2) locality moved bytes off the uplinks; (3) racks=1 runs the
+        # flat fabric — identical timeline to the plain p2p point kind
+        aware2 = execute_point(spec_for(True))
+        identical = (
+            aware.metrics == aware2.metrics
+            and aware.series == aware2.series
+            and aware.event_count == aware2.event_count
+        )
+        reduced = am["cross_rack_bytes"] < bm["cross_rack_bytes"]
+        flat = execute_point(spec_for(True, racks=1))
+        p2p_params = []
+        if args.no_p2p:
+            p2p_params.append(("p2p", False))
+        else:
+            p2p_params += [
+                ("directory", args.directory), ("locate_fanout", args.fanout)
+            ]
+        ref = execute_point(PointSpec(
+            kind="p2p", profile=profile.name, approach="mirror",
+            n=n, seed=args.seed, params=tuple(p2p_params),
+        ))
+        off_path = (
+            flat.series["boot_times"] == ref.series["boot_times"]
+            and flat.metrics["completion_time"] == ref.metrics["completion_time"]
+            and flat.metrics["total_traffic"] == ref.metrics["total_traffic"]
+            and flat.event_count == ref.event_count
+            and flat.metrics["cross_rack_bytes"] == 0.0
+            and flat.metrics["intra_rack_bytes"] == 0.0
+        )
+        print(f"smoke: deterministic={identical} cross-rack-reduced={reduced} "
+              f"off-path-identical={off_path}")
+        if not (identical and reduced and off_path):
+            print("error: topo smoke check failed", file=sys.stderr)
+            return 1
+    return 0
+
+
 def cmd_churn(args) -> int:
     from .runner import PointSpec, execute_point, resolve_profile
 
@@ -578,6 +668,7 @@ def cmd_info(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
+    from .runner import known_kinds, known_profiles
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -586,10 +677,13 @@ def build_parser() -> argparse.ArgumentParser:
             "subcommands: deploy (one multideployment), snapshot "
             "(multisnapshotting), sweep (figure sweeps via the parallel "
             "runner), faults (deployment under injected crashes), p2p "
-            "(cooperative chunk exchange), churn (long-horizon multi-tenant "
+            "(cooperative chunk exchange), topo (hierarchical fabric + "
+            "locality policies), churn (long-horizon multi-tenant "
             "SLOs), lineage (snapshot chains, compaction, restore-to-"
             "version), trace (Perfetto causal traces), bonnie (the §5.4 "
-            "micro-benchmark), info (active calibration)"
+            "micro-benchmark), info (active calibration). "
+            f"point kinds: {', '.join(known_kinds())}. "
+            f"profiles: {', '.join(known_profiles())}."
         ),
     )
     parser.add_argument(
@@ -723,6 +817,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_p2p.add_argument("--smoke", action="store_true",
                        help="self-check: peer hits > 0, off-path determinism")
     p_p2p.set_defaults(func=cmd_p2p)
+
+    p_topo = sub.add_parser(
+        "topo",
+        help="multideployment over a hierarchical (racked) fabric, "
+             "locality-aware vs topology-blind",
+    )
+    p_topo.add_argument("--instances", type=int, default=0,
+                        help="concurrent VMs (0 = the profile's first count)")
+    p_topo.add_argument("--profile", default="topo-smoke",
+                        help="benchmark profile (topo, topo-smoke, ...)")
+    p_topo.add_argument("--racks", type=int, default=4,
+                        help="racks the compute pool is split across")
+    p_topo.add_argument("--oversubscription", type=float, default=4.0,
+                        help="rack uplink = hosts_per_rack * NIC / this ratio")
+    p_topo.add_argument("--directory", choices=["announce", "rendezvous"],
+                        default="announce", help="peer-location strategy")
+    p_topo.add_argument("--fanout", type=int, default=2,
+                        help="candidate peers tried per chunk before providers")
+    p_topo.add_argument("--no-p2p", action="store_true",
+                        help="disable the cooperative chunk exchange")
+    p_topo.add_argument("--replication", type=int, default=1,
+                        help="replicas per chunk (locality run places them "
+                             "rack-diverse)")
+    p_topo.add_argument("--seed", type=int, default=1, help="experiment seed")
+    p_topo.add_argument("--smoke", action="store_true",
+                        help="self-check: determinism, cross-rack cut, "
+                             "flat-fabric identity")
+    p_topo.set_defaults(func=cmd_topo)
 
     p_churn = sub.add_parser(
         "churn", help="long-horizon multi-tenant churn run with steady-state SLOs"

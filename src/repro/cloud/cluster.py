@@ -17,6 +17,7 @@ from ..baselines.pvfs import PvfsDeployment
 from ..blobseer.service import BlobSeerDeployment
 from ..calibration import Calibration, DEFAULT
 from ..simkit.host import Fabric, Host
+from ..topo import Topology, build_topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.injector import FaultInjector
@@ -40,6 +41,8 @@ class Cloud:
     injector: Optional["FaultInjector"] = None
     #: cooperative chunk-exchange overlay; None unless built with p2p=True
     p2p: Optional["PeerNetwork"] = None
+    #: hierarchical fabric description; None on the flat (default) testbed
+    topology: Optional[Topology] = None
 
     @property
     def env(self):
@@ -79,6 +82,12 @@ def build_cloud(
     p2p_cache_bytes: Optional[int] = None,
     p2p_directory: str = "announce",
     p2p_locate_fanout: int = 2,
+    topology: Optional[Topology] = None,
+    racks: int = 1,
+    oversubscription: float = 4.0,
+    rack_uplink: Optional[float] = None,
+    core_capacity: Optional[float] = None,
+    topo_aware: bool = True,
 ) -> Cloud:
     """Build the simulated testbed.
 
@@ -89,18 +98,41 @@ def build_cloud(
     nodes instead — a dedicated-repository topology (cf. López García &
     Fernández del Castillo) used by the scale benchmark to reproduce the
     paper's fan-in contention regime at large n.
+
+    ``racks > 1`` (or an explicit ``topology``) builds the hierarchical
+    fabric: compute nodes are block-assigned to racks, the rack uplink
+    defaults to ``hosts_per_rack * nic_bandwidth / oversubscription``, and
+    infrastructure hosts (manager, NFS server) land in rack 0.
+    ``topo_aware=True`` additionally turns on the locality consumers
+    (rack-ranked p2p peer selection and same-rack replica reads);
+    ``topo_aware=False`` keeps the policies topology-blind so experiments
+    can isolate the fabric cost from the locality win. The default flat
+    build (``racks=1``, no topology) is bit-identical to the seed model.
     """
     for label, k in (("data_nodes", data_nodes), ("meta_nodes", meta_nodes)):
         if k is not None and not 1 <= k <= compute_nodes:
             raise ValueError(
                 f"{label} must be in [1, {compute_nodes}], got {k}"
             )
+    if racks < 1:
+        raise ValueError(f"racks must be >= 1, got {racks}")
     tb = calib.testbed
+    if topology is None and racks > 1:
+        topology = build_topology(
+            [f"node{i:03d}" for i in range(compute_nodes)],
+            racks,
+            tb.nic_bandwidth,
+            oversubscription=oversubscription,
+            rack_uplink=rack_uplink,
+            core_capacity=core_capacity,
+            infra_hosts=("manager", "nfs-server"),
+        )
     fabric = Fabric(
         seed=seed,
         nic_bandwidth=tb.nic_bandwidth,
         latency=tb.network_latency,
         fairness=fairness,
+        topology=topology,
     )
     compute = [
         fabric.add_host(
@@ -118,6 +150,12 @@ def build_cloud(
 
     fabric.connection_setup = calib.service.connection_setup
 
+    #: locality consumers only engage on a multi-rack fabric with
+    #: topo_aware set; otherwise every policy runs its seed code path
+    locality_topo = (
+        topology if (topo_aware and topology is not None and topology.multi_rack)
+        else None
+    )
     blobseer = None
     if with_blobseer:
         blobseer = BlobSeerDeployment(
@@ -133,6 +171,8 @@ def build_cloud(
             replica_write_mode=replica_write_mode,
             meta_replication=meta_replication,
             retry=retry,
+            topology=topology,
+            rack_aware_reads=locality_topo is not None,
         )
     peer_network = None
     if p2p:
@@ -151,6 +191,7 @@ def build_cloud(
             calib.service,
             config=P2PConfig(**config_kw),
             directory_host=manager,
+            topology=locality_topo,
         )
         blobseer.peer_network = peer_network
 
@@ -172,4 +213,5 @@ def build_cloud(
         pvfs=pvfs,
         calib=calib,
         p2p=peer_network,
+        topology=topology,
     )

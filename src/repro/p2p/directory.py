@@ -21,6 +21,14 @@ Both return candidates only; a candidate that turns out not to hold the
 chunk (or is down) is a *miss* and the agent falls back to the next
 candidate and ultimately to the provider path — stale directory state can
 cost a round trip, never correctness.
+
+When a multi-rack :class:`~repro.topo.Topology` is attached (and the cloud
+is built ``topo_aware``), both strategies *rack-rank* their candidate
+lists: same-rack holders come first (stable partition, preserving the
+strategy's own order within each group), so a chunk cached anywhere in the
+reader's rack is fetched without crossing the oversubscribed uplink. With
+no topology the ranking is the identity function — candidate order is
+byte-identical to the seed.
 """
 
 from __future__ import annotations
@@ -43,30 +51,61 @@ DIRECTORY_SERVICE = "p2p-dir"
 LOCATE_ENTRY_BYTES = 24
 
 
+def rack_ranked(
+    topology, me: str, names: Tuple[str, ...]
+) -> Tuple[str, ...]:
+    """Stable-partition candidates: same-rack as ``me`` first.
+
+    Order within each partition is preserved, so whatever spreading the
+    strategy already does (HRW rank, rotation cursor) survives inside the
+    rack groups. ``topology=None`` returns ``names`` unchanged.
+    """
+    if topology is None or len(names) < 2:
+        return names
+    my_rack = topology.rack(me)
+    same = tuple(n for n in names if topology.rack(n) == my_rack)
+    if not same or len(same) == len(names):
+        return names
+    return same + tuple(n for n in names if topology.rack(n) != my_rack)
+
+
 class RendezvousDirectory:
     """Stateless highest-random-weight ownership over the peer set."""
 
     name = "rendezvous"
 
-    def __init__(self, peer_names: Sequence[str], fanout: int):
+    def __init__(self, peer_names: Sequence[str], fanout: int, topology=None):
         self.peers: Tuple[str, ...] = tuple(peer_names)
         self.fanout = max(1, min(fanout, len(self.peers)))
+        #: multi-rack topology for rack-ranking, or None (seed order)
+        self.topology = topology
 
-    def owners(self, key: int) -> List[str]:
-        """The ``fanout`` peers ranked highest for ``key`` (deterministic)."""
-        ranked = sorted(
+    def ranked(self, key: int) -> List[str]:
+        """Every peer in highest-random-weight order for ``key``."""
+        return sorted(
             self.peers,
             key=lambda name: zlib.crc32(f"{key}:{name}".encode()),
             reverse=True,
         )
-        return ranked[: self.fanout]
+
+    def owners(self, key: int) -> List[str]:
+        """The ``fanout`` peers ranked highest for ``key`` (deterministic)."""
+        return self.ranked(key)[: self.fanout]
 
     def locate(self, agent: "PeerAgent", keys: Sequence[int]):
         """Candidate holders per key; pure computation, no simulated time."""
         me = agent.host.name
+        topo = self.topology
         out: Dict[int, Tuple[str, ...]] = {}
         for key in keys:
-            out[key] = tuple(name for name in self.owners(key) if name != me)
+            if topo is None:
+                out[key] = tuple(n for n in self.owners(key) if n != me)
+            else:
+                # rack-local rendezvous: partition the *full* HRW order by
+                # rack before truncating, so each rack converges on its own
+                # top-ranked holders and fetches stay off the uplink
+                ranked = tuple(n for n in self.ranked(key) if n != me)
+                out[key] = rack_ranked(topo, me, ranked)[: self.fanout]
         return out
         yield  # pragma: no cover — generator protocol, body never yields
 
@@ -77,10 +116,16 @@ class RendezvousDirectory:
 class PeerDirectoryService:
     """The announce directory's server side (one instance per cloud)."""
 
-    def __init__(self, host: Host, model: ServiceModel, max_holders: int = 16):
+    def __init__(
+        self, host: Host, model: ServiceModel, max_holders: int = 16, topology=None
+    ):
         self.host = host
         self.model = model
         self.max_holders = max_holders
+        #: multi-rack topology: rank holders by the caller's rack before
+        #: truncating to fanout (the server sees *all* holders, the client
+        #: only the fanout-sized answer — ranking must happen here)
+        self.topology = topology
         #: chunk key -> insertion-ordered holder names (dict-as-ordered-set)
         self.holders: Dict[int, Dict[str, None]] = {}
         #: per-key rotation cursor spreading lookups across holders
@@ -115,6 +160,18 @@ class PeerDirectoryService:
                 continue
             cursor = self._cursor.get(key, 0)
             self._cursor[key] = cursor + 1
+            topo = self.topology
+            if topo is not None:
+                my_rack = topo.rack(me)
+                same = [n for n in names if topo.rack(n) == my_rack]
+                if same:
+                    # rotate within the same-rack holders (load spreading),
+                    # then pad with cross-rack ones up to fanout
+                    rest = [n for n in names if topo.rack(n) != my_rack]
+                    shift = cursor % len(same)
+                    ranked = same[shift:] + same[:shift] + rest
+                    out[key] = tuple(ranked[:fanout])
+                    continue
             shift = cursor % len(names)
             rotated = names[shift:] + names[:shift]
             out[key] = tuple(rotated[:fanout])
@@ -127,9 +184,11 @@ class AnnounceDirectory:
 
     name = "announce"
 
-    def __init__(self, service_host: Host, fanout: int):
+    def __init__(self, service_host: Host, fanout: int, topology=None):
         self.service_host = service_host
         self.fanout = fanout
+        #: multi-rack topology for rack-ranking, or None (seed order)
+        self.topology = topology
 
     def locate(self, agent: "PeerAgent", keys: Sequence[int]):
         """One locate RPC for the whole batch; {} if the directory is down."""
@@ -142,6 +201,12 @@ class AnnounceDirectory:
             )
         except rpc.ProviderUnavailableError:
             return {key: () for key in keys}
+        topo = self.topology
+        if topo is not None:
+            # re-rank client side: no extra directory traffic, and the
+            # server's rotation cursor stays shared across all peers
+            me = agent.host.name
+            out = {key: rack_ranked(topo, me, names) for key, names in out.items()}
         return out
 
     def on_cached(self, agent: "PeerAgent", keys: Sequence[int]) -> None:

@@ -300,10 +300,13 @@ class PeerNetwork:
         model: ServiceModel,
         config: Optional[P2PConfig] = None,
         directory_host: Optional[Host] = None,
+        topology=None,
     ):
         self.fabric = fabric
         self.config = config if config is not None else P2PConfig()
         self.model = model
+        #: multi-rack topology for rack-ranked peer selection, or None
+        self.topology = topology
         self.caches: Dict[str, PeerChunkCache] = {}
         self.services: Dict[str, PeerExchangeService] = {}
         self.agents: Dict[str, PeerAgent] = {}
@@ -317,17 +320,19 @@ class PeerNetwork:
         if self.config.directory == "rendezvous":
             self.directory_service = None
             self.directory = RendezvousDirectory(
-                [h.name for h in compute_hosts], self.config.locate_fanout
+                [h.name for h in compute_hosts], self.config.locate_fanout,
+                topology=topology,
             )
         else:
             if directory_host is None:
                 raise StorageError("announce directory needs a directory_host")
             self.directory_service = PeerDirectoryService(
-                directory_host, model, self.config.announce_max_holders
+                directory_host, model, self.config.announce_max_holders,
+                topology=topology,
             )
             rpc.bind(directory_host, DIRECTORY_SERVICE, self.directory_service)
             self.directory = AnnounceDirectory(
-                directory_host, self.config.locate_fanout
+                directory_host, self.config.locate_fanout, topology=topology
             )
 
     def agent_for(self, host: Host) -> Optional[PeerAgent]:

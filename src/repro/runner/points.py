@@ -272,6 +272,82 @@ def _run_p2p(spec: PointSpec, profile: BenchProfile, calib):
     return cloud, metrics, series
 
 
+@point_kind("topo")
+def _run_topo(spec: PointSpec, profile: BenchProfile, calib):
+    """One hierarchical-fabric sweep point: mirror deploy on a rack fabric.
+
+    Params: ``racks`` (default 8; ``1`` = flat fabric, bit-identical to the
+    ``p2p`` kind with the same knobs), ``oversubscription`` (rack uplink =
+    ``hosts_per_rack * nic_bw / oversubscription``; default 4.0),
+    ``locality`` (enable the rack-aware consumers — peer ranking, replica
+    reads; default True — False is the topology-blind baseline the
+    cross-rack cut is measured against), ``p2p`` / ``directory`` /
+    ``cache_mib`` / ``locate_fanout`` (the overlay knobs of the ``p2p``
+    kind; p2p defaults True here), ``replication`` (provider replica
+    count) and ``placement`` (defaults to ``rack-diverse`` on a multi-rack
+    fabric with replication > 1, else ``round-robin``).
+
+    Reported per-tier traffic splits the fluid-flow bytes by the scope of
+    each flow's endpoints (intra-rack / cross-rack), overall and for the
+    ``payload`` kind alone (provider chunk reads; peer-exchange chunk bytes
+    travel as ``rpc-response``).
+    """
+    from ..common.units import MiB
+
+    racks = int(spec.param("racks", 8))
+    locality = bool(spec.param("locality", True))
+    replication = int(spec.param("replication", 1))
+    placement = spec.param("placement")
+    if placement is None:
+        placement = (
+            "rack-diverse" if (locality and racks > 1 and replication > 1)
+            else "round-robin"
+        )
+    cloud_kw = dict(
+        racks=racks,
+        oversubscription=float(spec.param("oversubscription", 4.0)),
+        topo_aware=locality,
+        placement=placement,
+    )
+    if replication > 1:
+        cloud_kw["replication_factor"] = replication
+    if bool(spec.param("p2p", True)):
+        cloud_kw.update(
+            p2p=True,
+            p2p_directory=spec.param("directory", "announce"),
+            p2p_locate_fanout=int(spec.param("locate_fanout", 2)),
+        )
+        cache_mib = spec.param("cache_mib")
+        if cache_mib is not None:
+            cloud_kw["p2p_cache_bytes"] = int(cache_mib) * MiB
+    cloud, image = build_point_cloud(profile, spec.seed, calib=calib, **cloud_kw)
+    res = deploy(cloud, image, spec.n, spec.approach or "mirror")
+    m = cloud.metrics
+    scopes = m.topo_scope_totals()
+    metrics = {
+        "avg_boot_time": res.avg_boot_time,
+        "completion_time": res.completion_time,
+        "total_traffic": res.total_traffic,
+        "intra_rack_bytes": float(scopes.get("intra-rack", 0)),
+        "cross_rack_bytes": float(
+            scopes.get("cross-rack", 0) + scopes.get("cross-pod", 0)
+        ),
+        "intra_rack_payload_bytes": float(
+            m.topo_kind_bytes("intra-rack", "payload")
+        ),
+        "cross_rack_payload_bytes": float(
+            m.topo_kind_bytes("cross-rack", "payload")
+            + m.topo_kind_bytes("cross-pod", "payload")
+        ),
+    }
+    stats = res.p2p_stats if res.p2p_stats is not None else {}
+    metrics["peer_hit_ratio"] = float(stats.get("peer_hit_ratio", 0.0))
+    metrics["bytes_from_peers"] = float(stats.get("bytes_from_peers", 0))
+    metrics["bytes_from_providers"] = float(stats.get("bytes_from_providers", 0))
+    series = {"boot_times": tuple(res.boot_times)}
+    return cloud, metrics, series
+
+
 @point_kind("churn")
 def _run_churn(spec: PointSpec, profile: BenchProfile, calib):
     """One long-horizon churn run; ``spec.n`` counts *deploy requests*.

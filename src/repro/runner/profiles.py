@@ -235,11 +235,51 @@ LINEAGE_SMOKE = BenchProfile(
     calib_overrides=SCALE.calib_overrides,
 )
 
+#: Hierarchical-fabric runs (``benchmarks/bench_topo.py``): the co-located
+#: repository of §3.1.1 (every compute node is a provider) spread over
+#: racks with oversubscribed uplinks. NVMe-class disks keep the *network*
+#: the bottleneck, so the cross-rack byte volume — the quantity the
+#: locality-aware policies attack — is what sets deployment time. For a
+#: topo point ``n`` is the concurrent-instance count, as in ``scale``.
+TOPO = BenchProfile(
+    name="topo",
+    pool_nodes=264,
+    instance_counts=(64, 256),
+    image_size=32 * MiB,
+    chunk_size=256 * KiB,
+    touched_bytes=8 * MiB,
+    n_regions=32,
+    diff_bytes=2 * MiB,
+    mc_workers=16,
+    mc_total_compute=120.0,
+    bonnie_working_set=128 * MiB,
+    meta_nodes=8,
+    calib_overrides=SCALE.calib_overrides,
+)
+
+#: Tiny sibling of ``topo`` for CI smoke runs and the determinism tests.
+TOPO_SMOKE = BenchProfile(
+    name="topo-smoke",
+    pool_nodes=16,
+    instance_counts=(8, 12),
+    image_size=8 * MiB,
+    chunk_size=256 * KiB,
+    touched_bytes=2 * MiB,
+    n_regions=16,
+    diff_bytes=512 * KiB,
+    mc_workers=4,
+    mc_total_compute=30.0,
+    bonnie_working_set=32 * MiB,
+    meta_nodes=4,
+    calib_overrides=SCALE.calib_overrides,
+)
+
 _REGISTRY: Dict[str, BenchProfile] = {
     PAPER.name: PAPER, QUICK.name: QUICK, P2P.name: P2P,
     SCALE.name: SCALE, SCALE_SMOKE.name: SCALE_SMOKE,
     CHURN.name: CHURN, CHURN_SMOKE.name: CHURN_SMOKE,
     LINEAGE.name: LINEAGE, LINEAGE_SMOKE.name: LINEAGE_SMOKE,
+    TOPO.name: TOPO, TOPO_SMOKE.name: TOPO_SMOKE,
 }
 
 

@@ -19,7 +19,7 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 #: kinds of points the executor registry knows how to run
 POINT_KINDS = (
     "deploy", "snapshot", "bonnie", "montecarlo", "resilience", "p2p", "churn",
-    "lineage",
+    "lineage", "topo",
 )
 
 

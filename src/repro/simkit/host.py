@@ -33,6 +33,7 @@ class Fabric:
         latency: float = 0.1 * MILLISECONDS,
         fairness: str = "equal-share",
         rebalance: Optional[str] = None,
+        topology=None,
     ):
         self.env = Environment()
         self.metrics = Metrics()
@@ -45,6 +46,7 @@ class Fabric:
             latency=latency,
             fairness=fairness,
             rebalance=rebalance,
+            topology=topology,
         )
         self.rng = RngStreams(seed)
         self.nic_bandwidth = nic_bandwidth
@@ -53,6 +55,11 @@ class Fabric:
         #: (0 keeps unit tests exact; the calibrated clouds set it)
         self.connection_setup: float = 0.0
         self._rpc_conn_pairs: set = set()
+
+    @property
+    def topology(self):
+        """The attached :class:`~repro.topo.Topology`, or None (flat fabric)."""
+        return self.network.topology
 
     def add_host(
         self,

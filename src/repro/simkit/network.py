@@ -47,16 +47,34 @@ making flow maintenance near-O(1) per event instead of O(flows on the
 link) — the difference between O(F²) and O(F log F) aggregate work for the
 paper's fan-in deployment patterns. See DESIGN.md §8.
 
+**Hierarchical topology** (optional): attaching a multi-rack
+:class:`~repro.topo.Topology` switches the network into *path mode*: each
+flow resolves the trunk links on its path (rack uplink/downlink, optional
+pod trunks and core) once at start, and its rate is the minimum share over
+its NIC endpoints *and* every trunk it crosses. Rebalancing walks exactly
+the flows sharing a touched link (NIC direction or trunk), reusing the
+skip-unchanged-rate sentinel machinery of the per-flow engine. With no
+topology attached — or a single-rack one — every trunk path is empty and
+the flat engines (cohort included) run completely untouched, so flat-model
+results stay bit-identical. A single-rack topology still enables per-tier
+traffic *accounting* (scope classification lives only in Metrics and never
+affects the timeline).
+
 Small control messages (below :attr:`FlowNetwork.message_threshold`) bypass
 the fluid model and pay ``latency + size/capacity + per_message_overhead``;
-their bytes still land in the traffic accounting.
+their bytes still land in the traffic accounting (per-tier scoped when a
+topology is attached — the trunk is latency-dominated for them, not
+bandwidth-limited, so they do not consume trunk share).
 """
 
 from __future__ import annotations
 
 from bisect import insort_right
 from heapq import heapify, heappop, heappush
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
+    from ..topo.fabric import Topology
 
 from ..common.errors import ProviderUnavailableError
 from ..common.units import MB, MILLISECONDS
@@ -135,6 +153,8 @@ class Flow:
         "span",
         "home",
         "seg_idx",
+        "links",
+        "scope",
     )
 
     def __init__(self, src: Nic, dst: Nic, size: float, done: Event, kind: str):
@@ -154,6 +174,10 @@ class Flow:
         #: of that direction's history not yet applied to ``remaining``
         self.home: Optional[_Dir] = None
         self.seg_idx = 0
+        #: path mode: trunk links on the flow's path (empty when intra-rack
+        #: or no topology); tier label for traffic accounting (None = flat)
+        self.links: Tuple[_PLink, ...] = ()
+        self.scope: Optional[str] = None
 
 
 class _Dir:
@@ -197,6 +221,26 @@ class _Dir:
         )
 
 
+class _PLink:
+    """One direction of a shared trunk (rack uplink, pod trunk, core).
+
+    Path-mode analogue of a NIC direction: an insertion-ordered flow set
+    plus a cached equal-share level, maintained on every flow arrival and
+    departure so rebalances read the share in O(1).
+    """
+
+    __slots__ = ("name", "capacity", "flows", "share")
+
+    def __init__(self, name: str, capacity: float):
+        self.name = name
+        self.capacity = float(capacity)
+        self.flows: Dict[Flow, None] = {}
+        self.share = self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_PLink({self.name}, cap={self.capacity / MB:.1f}MB/s, n={len(self.flows)})"
+
+
 class FlowNetwork:
     """The cluster fabric: NIC registry, flows, messages, traffic accounting."""
 
@@ -210,6 +254,7 @@ class FlowNetwork:
         per_message_overhead: float = 0.02 * MILLISECONDS,
         message_header_bytes: int = 66,
         rebalance: Optional[str] = None,
+        topology: Optional["Topology"] = None,
     ):
         if fairness not in ("equal-share", "maxmin"):
             raise ValueError(f"unknown fairness discipline {fairness!r}")
@@ -217,6 +262,14 @@ class FlowNetwork:
             rebalance = DEFAULT_REBALANCE
         if rebalance not in ("cohort", "legacy"):
             raise ValueError(f"unknown rebalance engine {rebalance!r}")
+        #: hierarchical fabric (None = flat switch). Multi-rack topologies
+        #: activate path mode; a single-rack one only adds tier accounting.
+        self.topology = topology
+        self._path = topology is not None and topology.multi_rack
+        if self._path and fairness != "equal-share":
+            raise ValueError(
+                "hierarchical (multi-rack) topology requires equal-share fairness"
+            )
         self.env = env
         self.metrics = metrics if metrics is not None else Metrics()
         self.latency = latency
@@ -229,8 +282,17 @@ class FlowNetwork:
         self.tracer = NULL_TRACER
         self.rebalance = rebalance
         #: cohort engine active? (maxmin always runs the per-flow path — its
-        #: progressive filling is inherently global, see DESIGN.md §8)
-        self._cohort = fairness == "equal-share" and rebalance == "cohort"
+        #: progressive filling is inherently global, see DESIGN.md §8; path
+        #: mode runs its own per-flow engine because a flow can cross an
+        #: arbitrary number of links, not the two _partner_dir assumes)
+        self._cohort = (
+            fairness == "equal-share" and rebalance == "cohort" and not self._path
+        )
+        #: path mode: trunk link registry and memoized (src, dst) -> trunks
+        self._trunks: Dict[str, _PLink] = {}
+        self._trunk_cache: Dict[Tuple[str, str], Tuple[_PLink, ...]] = {}
+        if self._path:
+            self._build_trunks()
         #: link directions touched by the current event, in encounter order;
         #: flushed (epoch bump + head ETA repush) at the end of the event
         self._dirty: Dict[_Dir, None] = {}
@@ -273,6 +335,100 @@ class FlowNetwork:
         return len(self._flows)
 
     # ------------------------------------------------------------------ #
+    # hierarchical trunks (path mode)
+    # ------------------------------------------------------------------ #
+    def _build_trunks(self) -> None:
+        topo = self.topology
+        trunks = self._trunks
+        for r in range(topo.n_racks):
+            trunks[f"rack{r}:up"] = _PLink(f"rack{r}:up", topo.rack_uplink)
+            trunks[f"rack{r}:down"] = _PLink(f"rack{r}:down", topo.rack_uplink)
+        if topo.racks_per_pod:
+            for p in range(topo.n_pods):
+                trunks[f"pod{p}:up"] = _PLink(f"pod{p}:up", topo.pod_uplink)
+                trunks[f"pod{p}:down"] = _PLink(f"pod{p}:down", topo.pod_uplink)
+        if topo.core_capacity is not None:
+            trunks["core"] = _PLink("core", topo.core_capacity)
+
+    def trunk(self, name: str) -> _PLink:
+        """Look up a trunk link by name (``rack3:up``, ``pod0:down``, ``core``)."""
+        return self._trunks[name]
+
+    def _trunk_path(self, src: Nic, dst: Nic) -> Tuple[_PLink, ...]:
+        """Trunk links a src->dst flow crosses, memoized per host pair.
+
+        Intra-rack flows cross none (the top-of-rack switch is non-blocking);
+        cross-rack flows pay both rack trunks, plus pod trunks and the core
+        when pods / a finite core are configured.
+        """
+        key = (src.name, dst.name)
+        cached = self._trunk_cache.get(key)
+        if cached is not None:
+            return cached
+        topo = self.topology
+        r1 = topo.rack(src.name)
+        r2 = topo.rack(dst.name)
+        if r1 == r2:
+            path: Tuple[_PLink, ...] = ()
+        else:
+            trunks = self._trunks
+            links = [trunks[f"rack{r1}:up"]]
+            core = trunks.get("core")
+            if topo.pod(r1) != topo.pod(r2):
+                links.append(trunks[f"pod{topo.pod(r1)}:up"])
+                if core is not None:
+                    links.append(core)
+                links.append(trunks[f"pod{topo.pod(r2)}:down"])
+            elif core is not None and not topo.racks_per_pod:
+                # no pod tier: every cross-rack flow transits the core
+                links.append(core)
+            links.append(trunks[f"rack{r2}:down"])
+            path = tuple(links)
+        self._trunk_cache[key] = path
+        return path
+
+    def set_trunk_capacity(self, name: str, capacity: float) -> None:
+        """Change a trunk's capacity mid-run (fault injection: uplink squeeze)."""
+        if capacity <= 0:
+            raise ValueError(f"trunk capacity must be positive, got {capacity}")
+        tl = self._trunks[name]
+        tl.capacity = float(capacity)
+        tl.share = tl.capacity / max(1, len(tl.flows))
+        self._rebalance_path((tl.flows,))
+
+    def _path_rate(self, flow: Flow) -> float:
+        """min share over the flow's endpoints and every trunk on its path."""
+        rate = flow.src.up_share
+        ds = flow.dst.down_share
+        if ds < rate:
+            rate = ds
+        for tl in flow.links:
+            s = tl.share
+            if s < rate:
+                rate = s
+        return rate
+
+    def _rebalance_path(self, flow_sets: Iterable[Dict[Flow, None]]) -> None:
+        """Path-mode rebalance: recompute every flow crossing a touched link.
+
+        ``flow_sets`` are the flow dicts of the link directions whose share
+        changed (NIC up/down and/or trunks). The union is collected in
+        encounter order (insertion-ordered dicts keep this deterministic)
+        and flows whose min-share rate is unchanged are skipped, exactly
+        like :meth:`_rebalance_pair`.
+        """
+        now = self.env.now
+        seen: Dict[Flow, None] = {}
+        for fs in flow_sets:
+            for f in fs:
+                seen[f] = None
+        for f in seen:
+            rate = self._path_rate(f)
+            if rate != f.rate:
+                self._set_rate(f, rate, now)
+        self._arm_sentinel()
+
+    # ------------------------------------------------------------------ #
     # transfers
     # ------------------------------------------------------------------ #
     def transfer(self, src: Nic, dst: Nic, nbytes: int, kind: str = "bulk") -> Event:
@@ -290,6 +446,9 @@ class FlowNetwork:
         done = Event(self.env)
         flow = Flow(src, dst, nbytes, done, kind)
         flow.t_last = self.env.now
+        topo = self.topology
+        if topo is not None:
+            flow.scope = topo.scope(src.name, dst.name)
         tracer = self.tracer
         if tracer.enabled:
             # async span: the flow ends inside the sentinel callback where no
@@ -304,7 +463,17 @@ class FlowNetwork:
         dst.down_flows[flow] = None
         down_share = dst.down_capacity / len(dst.down_flows)
         dst.down_share = down_share
-        if self._cohort:
+        if self._path:
+            links = self._trunk_path(src, dst)
+            if links:
+                flow.links = links
+                for tl in links:
+                    tl.flows[flow] = None
+                    tl.share = tl.capacity / len(tl.flows)
+            self._rebalance_path(
+                (src.up_flows, dst.down_flows) + tuple(tl.flows for tl in links)
+            )
+        elif self._cohort:
             now = self.env.now
             self._reshare(src.up_dir, up_share, now)
             self._reshare(dst.down_dir, down_share, now)
@@ -348,6 +517,11 @@ class FlowNetwork:
             # Same API as transfer()/_complete(): accounting hooks (test
             # doubles, future per-kind observers) see every wire byte.
             self.metrics.add_traffic(wire_bytes, kind)
+            topo = self.topology
+            if topo is not None:
+                self.metrics.add_topo_traffic(
+                    topo.scope(src.name, dst.name), kind, wire_bytes
+                )
         if done is None:
             # A Timeout *is* an event pre-scheduled at now+delay: one
             # flattened constructor instead of Event + schedule_at.
@@ -383,7 +557,9 @@ class FlowNetwork:
         down_share = nic.down_capacity / max(1, len(nic.down_flows))
         nic.up_share = up_share
         nic.down_share = down_share
-        if self._cohort:
+        if self._path:
+            self._rebalance_path((nic.up_flows, nic.down_flows))
+        elif self._cohort:
             now = self.env.now
             self._reshare(nic.up_dir, up_share, now)
             self._reshare(nic.down_dir, down_share, now)
@@ -407,6 +583,7 @@ class FlowNetwork:
         now = self.env.now
         cohort = self._cohort
         touched: Dict[Nic, None] = {}  # insertion-ordered: determinism
+        touched_trunks: Dict[_PLink, None] = {}
         for flow in victims:
             self._flows.pop(flow, None)
             src, dst = flow.src, flow.dst
@@ -414,6 +591,9 @@ class FlowNetwork:
             dst.down_flows.pop(flow, None)
             touched[src] = None
             touched[dst] = None
+            for tl in flow.links:
+                tl.flows.pop(flow, None)
+                touched_trunks[tl] = None
             if cohort:
                 home = flow.home
                 if home is not None:
@@ -436,6 +616,10 @@ class FlowNetwork:
                 flow.t_last = now
             flow.wake_seq += 1  # invalidate completion-heap entries
             self.metrics.add_traffic(flow.size - flow.remaining, flow.kind)
+            if flow.scope is not None:
+                self.metrics.add_topo_traffic(
+                    flow.scope, flow.kind, flow.size - flow.remaining
+                )
             span = flow.span
             if span is not None:
                 span.set_error(f"aborted: {cause}")
@@ -445,7 +629,15 @@ class FlowNetwork:
         for t in touched:
             t.up_share = t.up_capacity / max(1, len(t.up_flows))
             t.down_share = t.down_capacity / max(1, len(t.down_flows))
-        if cohort:
+        for tl in touched_trunks:
+            tl.share = tl.capacity / max(1, len(tl.flows))
+        if self._path:
+            self._rebalance_path(
+                tuple(t.up_flows for t in touched)
+                + tuple(t.down_flows for t in touched)
+                + tuple(tl.flows for tl in touched_trunks)
+            )
+        elif cohort:
             for t in touched:
                 self._reshare(t.up_dir, t.up_share, now)
                 self._reshare(t.down_dir, t.down_share, now)
@@ -895,6 +1087,8 @@ class FlowNetwork:
         dst.down_share = down_share
         flow.wake_seq += 1  # invalidate any remaining heap entries
         self.metrics.add_traffic(flow.size, flow.kind)
+        if flow.scope is not None:
+            self.metrics.add_topo_traffic(flow.scope, flow.kind, flow.size)
         span = flow.span
         if span is not None:
             elapsed = self.env.now - span.t0
@@ -902,7 +1096,15 @@ class FlowNetwork:
                 span.set(achieved_bw=flow.size / elapsed)
             span.finish()
             flow.span = None
-        if self._cohort:
+        if self._path:
+            links = flow.links
+            for tl in links:
+                del tl.flows[flow]
+                tl.share = tl.capacity / max(1, len(tl.flows))
+            self._rebalance_path(
+                (src.up_flows, dst.down_flows) + tuple(tl.flows for tl in links)
+            )
+        elif self._cohort:
             now = self.env.now
             home = flow.home
             partner = self._partner_dir(flow)

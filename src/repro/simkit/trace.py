@@ -127,6 +127,10 @@ class Metrics:
     )
     #: per-op log2 histograms (p50/p95/p99), e.g. "boot-time", "bonnie-op"
     histograms: Dict[str, Histogram] = field(default_factory=lambda: defaultdict(Histogram))
+    #: per-tier wire bytes when a topology is attached, keyed "scope/kind"
+    #: ("intra-rack/payload", "cross-rack/rpc-response", ...); empty on the
+    #: flat fabric so flat-model metric dumps are unchanged
+    topo_traffic: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
     # ------------------------------------------------------------------ #
     def add_traffic(self, nbytes: int, kind: str = "bulk") -> None:
@@ -134,6 +138,20 @@ class Metrics:
 
     def total_traffic(self) -> int:
         return sum(self.traffic.values())
+
+    def add_topo_traffic(self, scope: str, kind: str, nbytes: int) -> None:
+        self.topo_traffic[f"{scope}/{kind}"] += int(nbytes)
+
+    def topo_scope_totals(self) -> Dict[str, int]:
+        """Per-tier byte totals summed over flow kinds, e.g. {"cross-rack": n}."""
+        totals: Dict[str, int] = {}
+        for key, nbytes in self.topo_traffic.items():
+            scope = key.split("/", 1)[0]
+            totals[scope] = totals.get(scope, 0) + nbytes
+        return totals
+
+    def topo_kind_bytes(self, scope: str, kind: str) -> int:
+        return self.topo_traffic.get(f"{scope}/{kind}", 0)
 
     def sample(self, name: str, value: float) -> None:
         self.samples[name].add(value)
@@ -154,6 +172,11 @@ class Metrics:
         lines: List[str] = ["traffic:"]
         for kind in sorted(self.traffic):
             lines.append(f"  {kind:<16} {self.traffic[kind] / 2**20:10.1f} MiB")
+        if self.topo_traffic:
+            lines.append("topology traffic:")
+            totals = self.topo_scope_totals()
+            for scope in sorted(totals):
+                lines.append(f"  {scope:<16} {totals[scope] / 2**20:10.1f} MiB")
         if self.samples:
             lines.append("samples:")
             for name in sorted(self.samples):

@@ -131,6 +131,92 @@ class TestLineageDocs:
             REPO / ".github" / "workflows" / "ci.yml").read_text()
 
 
+class TestTopoDocs:
+    def test_design_doc_covers_topo(self):
+        text = (REPO / "DESIGN.md").read_text()
+        assert "repro.topo" in text
+        assert "fabric.py" in text
+        assert (REPO / "src" / "repro" / "topo" / "fabric.py").exists()
+        assert "oversubscri" in text  # the fabric's defining knob
+
+    def test_experiments_doc_covers_topo(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        assert "cross-rack" in text.lower()
+        assert "BENCH_topo.json" in text
+
+    def test_readme_quickstart_covers_topo(self):
+        text = (REPO / "README.md").read_text()
+        assert "python -m repro topo" in text
+        assert "make topo-smoke" in text
+
+    def test_tracked_topo_numbers_exist(self):
+        import json
+        data = json.loads((REPO / "BENCH_topo.json").read_text())
+        current = data["current"]
+        for n in data["counts"]:
+            assert f"blind-n{n}" in current["sweep"]
+            assert f"locality-n{n}" in current["sweep"]
+        assert set(current["replica"]) == {"blind", "local"}
+        assert current["replica"]["local"]["cross_rack_payload_bytes"] == 0.0
+        assert current["identity"]["identical"] is True
+        assert current["determinism"]["identical"] is True
+
+    def test_makefile_and_ci_wire_topo_smoke(self):
+        assert "topo-smoke:" in (REPO / "Makefile").read_text()
+        assert "topo-smoke" in (
+            REPO / ".github" / "workflows" / "ci.yml").read_text()
+
+
+class TestRegistryDocs:
+    """The README's registry table must match the runner's registries."""
+
+    @staticmethod
+    def _fresh_registry():
+        # other tests register throwaway profiles into the live registry,
+        # so snapshot it in a clean interpreter
+        import json
+        import subprocess
+        import sys
+
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "import json; from repro.runner import known_kinds, known_profiles; "
+             "print(json.dumps([known_kinds(), known_profiles()]))"],
+            capture_output=True, text=True, check=True, cwd=REPO,
+        )
+        kinds, profiles = json.loads(out.stdout)
+        return kinds, profiles
+
+    def test_readme_point_kind_table_matches_registry(self):
+        kinds, _profiles = self._fresh_registry()
+        text = (REPO / "README.md").read_text()
+        table = text.split("| point kind |", 1)[1]
+        rows = []
+        for line in table.splitlines()[2:]:  # skip header remainder + rule
+            m = re.match(r"\| `(\w+)` \|", line)
+            if not m:
+                break
+            rows.append(m.group(1))
+        assert sorted(rows) == sorted(kinds)
+
+    def test_readme_profile_list_matches_registry(self):
+        _kinds, profiles = self._fresh_registry()
+        text = (REPO / "README.md").read_text()
+        para = text.split("Profiles bundle", 1)[1].split("\n\n", 1)[0]
+        listed = set(re.findall(r"`([\w-]+)`", para))
+        assert listed == set(profiles)
+
+    def test_help_epilog_enumerates_registries(self):
+        from repro.cli import build_parser
+        from repro.runner import known_kinds, known_profiles
+
+        epilog = build_parser().epilog or ""
+        for kind in known_kinds():
+            assert kind in epilog
+        for profile in known_profiles():
+            assert profile in epilog
+
+
 class TestBenchmarkCoverage:
     def test_one_bench_file_per_figure(self):
         bench_dir = REPO / "benchmarks"

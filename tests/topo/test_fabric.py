@@ -1,0 +1,112 @@
+"""Unit tests for the hierarchical topology description."""
+
+import pytest
+
+from repro.common.units import MB
+from repro.topo import Topology, build_topology
+from repro.topo.fabric import CROSS_POD, CROSS_RACK, INTRA_RACK
+
+
+class TestValidation:
+    def test_racks_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Topology(n_racks=0, rack_uplink=100 * MB)
+
+    def test_uplink_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Topology(n_racks=2, rack_uplink=0)
+
+    def test_pod_tier_requires_pod_uplink(self):
+        with pytest.raises(ValueError):
+            Topology(n_racks=4, rack_uplink=100 * MB, racks_per_pod=2)
+
+    def test_pod_tier_accepted_with_uplink(self):
+        topo = Topology(
+            n_racks=4, rack_uplink=100 * MB, racks_per_pod=2,
+            pod_uplink=200 * MB,
+        )
+        assert topo.n_pods == 2
+
+
+class TestPlacement:
+    def test_unplaced_host_defaults_to_rack_zero(self):
+        topo = Topology(n_racks=2, rack_uplink=100 * MB)
+        assert topo.rack("never-seen") == 0
+
+    def test_place_blocked_splits_evenly(self):
+        topo = Topology(n_racks=2, rack_uplink=100 * MB)
+        topo.place_blocked([f"h{i}" for i in range(8)])
+        assert [topo.rack(f"h{i}") for i in range(8)] == [0] * 4 + [1] * 4
+
+    def test_place_blocked_remainder_goes_to_last_rack(self):
+        topo = Topology(n_racks=3, rack_uplink=100 * MB)
+        topo.place_blocked([f"h{i}" for i in range(7)])
+        racks = [topo.rack(f"h{i}") for i in range(7)]
+        assert racks == [0, 0, 0, 1, 1, 1, 2]
+
+    def test_explicit_place_overrides(self):
+        topo = Topology(n_racks=2, rack_uplink=100 * MB)
+        topo.place("special", 1)
+        assert topo.rack("special") == 1
+
+    def test_place_rejects_unknown_rack(self):
+        topo = Topology(n_racks=2, rack_uplink=100 * MB)
+        with pytest.raises(ValueError):
+            topo.place("h", 2)
+
+
+class TestScope:
+    def test_same_rack(self):
+        topo = Topology(n_racks=2, rack_uplink=100 * MB)
+        topo.place("a", 0)
+        topo.place("b", 0)
+        topo.place("c", 1)
+        assert topo.scope("a", "b") == INTRA_RACK
+        assert topo.scope("a", "c") == CROSS_RACK
+        assert topo.same_rack("a", "b")
+        assert not topo.same_rack("a", "c")
+
+    def test_cross_pod(self):
+        topo = Topology(
+            n_racks=4, rack_uplink=100 * MB, racks_per_pod=2,
+            pod_uplink=200 * MB,
+        )
+        for i in range(4):
+            topo.place(f"h{i}", i)
+        assert topo.scope("h0", "h1") == CROSS_RACK  # same pod
+        assert topo.scope("h0", "h3") == CROSS_POD
+
+    def test_multi_rack_flag(self):
+        assert not Topology(n_racks=1, rack_uplink=100 * MB).multi_rack
+        assert Topology(n_racks=2, rack_uplink=100 * MB).multi_rack
+
+
+class TestBuildTopology:
+    def test_uplink_derived_from_oversubscription(self):
+        nic = 125 * MB
+        topo = build_topology(
+            [f"n{i}" for i in range(16)], 4, nic, oversubscription=4.0
+        )
+        # 4 hosts/rack * 125 MB/s / 4 = one NIC's worth of uplink
+        assert topo.rack_uplink == pytest.approx(4 * nic / 4.0)
+        assert topo.oversubscription == 4.0
+
+    def test_explicit_uplink_wins(self):
+        topo = build_topology(
+            [f"n{i}" for i in range(8)], 2, 125 * MB, rack_uplink=42 * MB
+        )
+        assert topo.rack_uplink == 42 * MB
+
+    def test_infra_hosts_land_in_rack_zero(self):
+        topo = build_topology(
+            [f"n{i}" for i in range(8)], 2, 125 * MB,
+            infra_hosts=("manager", "nfs-server"),
+        )
+        assert topo.rack("manager") == 0
+        assert topo.rack("nfs-server") == 0
+        assert topo.rack("n7") == 1
+
+    def test_describe_mentions_shape(self):
+        topo = build_topology([f"n{i}" for i in range(8)], 2, 125 * MB)
+        text = topo.describe()
+        assert "2 rack(s)" in text
